@@ -1,0 +1,34 @@
+"""Figure 2 regenerator — memory footprint by data type.
+
+Paper anchor: in the HPC FP programs, FP data occupies 3-6 orders of
+magnitude more memory than integer + pointer data combined (at
+paper-scale problem sizes); the suite's one integer program (SAD) is
+integer-dominated instead.
+"""
+
+from repro.harness.fig02_memory import run_fig02
+from repro.harness.reporting import format_table
+
+
+def test_fig02_memory_by_type(benchmark, scale, report):
+    result = benchmark.pedantic(run_fig02, args=(scale,), rounds=1, iterations=1)
+
+    blocks = []
+    for label, rows in (("paper-scale", result.paper_scale),
+                        ("simulated", result.simulated)):
+        blocks.append(format_table(
+            f"Figure 2 - memory by data type ({label})",
+            ["program type", "FP bytes", "int bytes", "ptr bytes",
+             "FP dominance (orders of magnitude)"],
+            [
+                (r.group, f"{r.fp_bytes:.3g}", f"{r.int_bytes:.3g}",
+                 f"{r.ptr_bytes:.3g}", f"{r.fp_dominance_orders:.2f}")
+                for r in rows
+            ],
+        ))
+    report("\n\n".join(blocks))
+
+    paper = {r.group: r for r in result.paper_scale}
+    assert paper["HPC FP programs"].fp_dominance_orders > 1.0
+    assert paper["HPC integer program"].int_bytes > paper["HPC integer program"].fp_bytes
+    assert paper["3D graphics programs"].fp_dominance_orders > 2.0

@@ -1,0 +1,34 @@
+"""Figure 3 regenerator — transient vs intermittent faults in graphics.
+
+Paper anchors: a transient single-value fault makes an unnoticeable
+spike in one frame (no SDC); an intermittent fault corrupting the
+values every pixel reads forms a prominent pattern — a noticeable
+corruption (Observation 3).
+"""
+
+from repro.harness.fig03_graphics import run_fig03
+from repro.harness.reporting import format_table
+
+
+def test_fig03_graphics_fault_impact(benchmark, scale, report):
+    result = benchmark.pedantic(run_fig03, args=(scale,), rounds=1, iterations=1)
+
+    report(format_table(
+        "Figure 3 - fault impact on the ocean-flow frame",
+        ["fault", "corrupted pixels", "fraction", "max dev (levels)", "noticeable"],
+        [
+            ("transient (1 value)", result.transient.corrupted_pixels,
+             f"{result.transient.corrupted_fraction:.4f}",
+             f"{result.transient.max_deviation_levels:.1f}",
+             result.transient_noticeable),
+            ("intermittent (stuck word)", result.intermittent.corrupted_pixels,
+             f"{result.intermittent.corrupted_fraction:.4f}",
+             f"{result.intermittent.max_deviation_levels:.1f}",
+             result.intermittent_noticeable),
+        ],
+    ))
+
+    assert not result.transient_noticeable
+    assert result.intermittent_noticeable
+    assert result.transient.corrupted_pixels <= 3
+    assert result.intermittent.corrupted_fraction > 0.25

@@ -1,0 +1,29 @@
+"""Figure 4 regenerator — GPU time spent on loops.
+
+Paper anchors (Observation 4): loops take >98% of GPU time in 5 of 7
+programs and ~87% on average; RPES is the sequential-code outlier.
+Uses the LOOPY preset (paper-like loop trip counts).
+"""
+
+from repro.harness.config import LOOPY, SMOKE
+from repro.harness.fig04_loops import run_fig04
+from repro.harness.reporting import format_table, pct
+
+
+def test_fig04_loop_time(benchmark, scale, report):
+    use = SMOKE if scale is SMOKE else LOOPY
+    result = benchmark.pedantic(run_fig04, args=(use,), rounds=1, iterations=1)
+
+    rows = [(n, pct(f)) for n, f in result.loop_fraction.items()]
+    rows.append(("AVG", pct(result.average)))
+    report(format_table(
+        "Figure 4 - GPU execution time spent on loops",
+        ["benchmark", "loop time"],
+        rows,
+    ))
+
+    fracs = result.loop_fraction
+    assert fracs["RPES"] < 0.6
+    dominated = [n for n, f in fracs.items() if f > 0.95]
+    assert len(dominated) >= 5  # ">98% in 5 out of 7" at paper-like sizes
+    assert 0.80 < result.average < 0.95  # paper: 87% average

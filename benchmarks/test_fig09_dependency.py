@@ -1,0 +1,33 @@
+"""Figure 9 regenerator — CP loop dependency scores and target selection.
+
+Paper anchor: in the coulombic-potential loop, energyx2's cumulative
+backward dataflow dependency exceeds energyx1's (13 vs 12 with the
+paper's temporary counting) because dx2 derives from dx1, so the loop
+detector protects energyx2.
+"""
+
+from repro.harness.fig09_dependency import run_fig09
+from repro.harness.reporting import format_table
+
+
+def test_fig09_dependency_selection(benchmark, scale, report):
+    result = benchmark.pedantic(run_fig09, args=(scale,), rounds=1, iterations=1)
+
+    report(format_table(
+        "Figure 9 - cumulative backward dataflow dependency (CP loop)",
+        ["variable", "CBD", "self-accumulating", "selected"],
+        [
+            (name, score, name in result.self_accumulating,
+             name in result.selected)
+            for name, score in sorted(result.scores.items(), key=lambda kv: -kv[1])
+        ],
+    ))
+
+    assert result.scores["energyx2"] > result.scores["energyx1"]
+    assert result.selected == ["energyx2"]
+    # both energies are self-accumulating (why CP's detector is so cheap)
+    assert {"energyx1", "energyx2"} <= set(result.self_accumulating)
+    # the energies dominate every intermediate in the loop
+    intermediates = {k: v for k, v in result.scores.items()
+                     if k not in ("energyx1", "energyx2")}
+    assert result.scores["energyx2"] > max(intermediates.values())

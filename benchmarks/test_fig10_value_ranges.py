@@ -1,0 +1,34 @@
+"""Figure 10 regenerator — value distributions of MRI-Q variables.
+
+Paper anchors: values computed for the same variable cluster sharply
+(integer variables put >50% of mass in one power-of-ten decade), and
+FP variables exhibit multiple sign correlation points (negative /
+near-zero / positive clusters of similar magnitude).
+"""
+
+from repro.harness.fig10_ranges import run_fig10
+from repro.harness.reporting import format_table
+
+
+def test_fig10_value_ranges(benchmark, scale, report):
+    result = benchmark.pedantic(run_fig10, args=(scale,), rounds=1, iterations=1)
+
+    report(format_table(
+        "Figure 10 - value distributions of MRI-Q kernel variables",
+        ["variable", "class", "samples", "peak bucket prob", "correlation points"],
+        [
+            (d.name, d.cls, d.n_samples, f"{d.peak:.2f}", d.correlation_points)
+            for d in result.distributions
+        ],
+    ))
+
+    by_name = {d.name: d for d in result.distributions}
+    # the loop counter: sharp integer peak
+    assert by_name["k"].peak > 0.5
+    # FP variables cluster: strong peaks across the board
+    fp_vars = [d for d in result.distributions if d.cls == "fp"]
+    assert fp_vars
+    assert sum(d.peak > 0.25 for d in fp_vars) >= len(fp_vars) * 0.6
+    # accumulators show both sign correlation points
+    assert by_name["qr"].correlation_points >= 2
+    assert by_name["qi"].correlation_points >= 2

@@ -1,0 +1,48 @@
+"""Figure 14 regenerator — HAUBERK detection coverage per benchmark x bits.
+
+Paper anchors: average coverage ~86.8% (13.2% of faults escape); for
+single-bit errors the outcome mix is roughly 35.6% masked / 11.0%
+failure / 21.4% detected / 22.2% detected&masked / 9.8% undetected;
+multi-bit errors raise the failure ratio and lower masking.
+"""
+
+from repro.harness.fig14_coverage import run_fig14
+from repro.harness.reporting import format_table, pct
+from repro.swifi.outcomes import Outcome
+
+
+def test_fig14_coverage(benchmark, scale, report):
+    result = benchmark.pedantic(run_fig14, args=(scale,), rounds=1, iterations=1)
+
+    rows = []
+    for (name, bits), counts in sorted(result.cells.items()):
+        rows.append((
+            name, bits,
+            pct(counts.fraction(Outcome.FAILURE)),
+            pct(counts.fraction(Outcome.MASKED)),
+            pct(counts.fraction(Outcome.DETECTED_MASKED)),
+            pct(counts.fraction(Outcome.DETECTED)),
+            pct(counts.fraction(Outcome.UNDETECTED)),
+            pct(counts.coverage),
+        ))
+    rows.append(("AVG", "-", "", "", "", "", "", pct(result.average_coverage())))
+    report(format_table(
+        "Figure 14 - outcome fractions by benchmark and error bits",
+        ["benchmark", "bits", "failure", "masked", "det&masked", "detected",
+         "undetected", "coverage"],
+        rows,
+    ))
+
+    bit_counts = sorted({b for (_n, b) in result.cells})
+    # headline: high average coverage
+    assert result.average_coverage() > 0.75
+    # single-bit: a meaningful mix of masked / detected outcomes
+    assert result.fraction(Outcome.MASKED, 1) > 0.10
+    detected1 = (result.fraction(Outcome.DETECTED, 1)
+                 + result.fraction(Outcome.DETECTED_MASKED, 1))
+    assert detected1 > 0.15
+    # multi-bit errors increase failures and decrease masking
+    if len(bit_counts) > 1:
+        hi = bit_counts[-1]
+        assert result.fraction(Outcome.FAILURE, hi) >= result.fraction(Outcome.FAILURE, 1)
+        assert result.fraction(Outcome.MASKED, hi) <= result.fraction(Outcome.MASKED, 1)

@@ -1,0 +1,45 @@
+"""Figure 15 regenerator — FP value change magnitude vs bits flipped.
+
+Paper anchors: "regardless of an original value range, if the number
+of corrupted bits increases, the portion for >1E+15 gradually
+increases" — which is why even heavily alpha-loosened range detectors
+keep catching multi-bit faults (Section IX.C).
+"""
+
+from repro.harness.fig15_bitflip import BIT_COUNTS, ORIGINAL_RANGES, run_fig15
+from repro.harness.reporting import format_table, pct
+
+
+def test_fig15_bitflip_magnitude(benchmark, scale, report):
+    result = benchmark.pedantic(run_fig15, args=(scale,), rounds=1, iterations=1)
+
+    rows = []
+    for (range_label, bits), dist in result.cells.items():
+        rows.append((
+            range_label, bits,
+            pct(dist.get(">1E+15", 0.0)),
+            pct(dist.get("1E+9~1E+15", 0.0)),
+            pct(dist.get("1E+3~1E+6", 0.0) + dist.get("1E+6~1E+9", 0.0)),
+            pct(dist.get("1E-3~1E+3", 0.0)),
+            pct(sum(v for k, v in dist.items()
+                    if k in ("<1E-15", "1E-15~1E-9", "1E-9~1E-6", "1E-6~1E-3"))),
+        ))
+    report(format_table(
+        "Figure 15 - magnitude of FP value change after fault",
+        ["original range", "bits", ">1E15", "1E9-1E15", "1E3-1E9",
+         "1E-3-1E3", "<1E-3"],
+        rows,
+    ))
+
+    for range_label, _lo, _hi in ORIGINAL_RANGES:
+        huge = [result.huge_change_fraction(range_label, b) for b in BIT_COUNTS]
+        # the >1E+15 bucket grows monotonically with the bit count
+        assert all(a <= b + 1e-9 for a, b in zip(huge, huge[1:])), range_label
+    # large magnitudes almost always blow up
+    assert result.huge_change_fraction("1E+15~1E+45", 15) > 0.95
+    # even mid-range values change by >1e6 x a substantial fraction of
+    # the time — the basis of Section IX.C's alpha insensitivity
+    mid = result.cells[("1E-3~1E+3", 6)]
+    big_change = sum(v for k, v in mid.items()
+                     if k in (">1E+15", "1E+9~1E+15", "1E+6~1E+9"))
+    assert big_change > 0.15

@@ -1,0 +1,31 @@
+"""Section IX.C regenerator — MRI-FHD coverage vs alpha.
+
+Paper anchors: coverage 95% / 95% / 82.8% / 81.6% at alpha 1 / 1e3 /
+1e4 / 1e5 — small alphas are free because faults usually shift values
+by many orders of magnitude (Figure 15); very large alphas start
+admitting real corruptions.
+"""
+
+from repro.harness.reporting import format_table, pct
+from repro.harness.sec9c_alpha import run_sec9c
+
+
+def test_sec9c_alpha_vs_coverage(benchmark, scale, report):
+    result = benchmark.pedantic(run_sec9c, args=(scale,), rounds=1, iterations=1)
+
+    report(format_table(
+        "Section IX.C - MRI-FHD detection coverage vs alpha",
+        ["alpha", "coverage"],
+        [(f"{a:g}", pct(c)) for a, c in result.coverage.items()],
+    ))
+
+    alphas = sorted(result.coverage)
+    coverages = [result.coverage[a] for a in alphas]
+    # coverage never improves as alpha loosens the bounds
+    assert all(a >= b - 0.02 for a, b in zip(coverages, coverages[1:]))
+    # tight bounds (alpha=1) give the best coverage of this fault class
+    assert result.coverage[alphas[0]] >= result.coverage[alphas[-1]]
+    # the moderate-magnitude fault band is genuinely hard for range
+    # detectors on short loops; see EXPERIMENTS.md for the deviation
+    # discussion vs the paper's 95% -> 81.6% curve
+    assert result.coverage[alphas[0]] > 0.25

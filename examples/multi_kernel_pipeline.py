@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Protect a multi-kernel pipeline with one shared control block.
+
+Real Parboil programs run several kernels per iteration (MRI-FHD first
+computes |phi|^2 in its own kernel).  This example builds such a
+pipeline — a ``phimag`` kernel feeding a ``recon`` kernel — and
+instruments *both* with HAUBERK, giving each kernel a disjoint
+loop-detector index range (``TranslatorOptions.detector_base``) so a
+single control block carries the whole program's detection state, as
+in the paper's deferred-checking model (Figure 6).
+
+Run:  python examples/multi_kernel_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core.controlblock import ControlBlock
+from repro.core.ftlib import HauberkFTLibrary
+from repro.core.profiler import RangeProfiler
+from repro.core.translator import HauberkTranslator, TranslatorOptions
+from repro.gpu import Device, GPURuntime
+from repro.kir import parse_kernel
+from repro.kir.types import DType
+
+PHIMAG_SRC = """
+kernel phimag(float* phiR, float* phiI, float* phiMag, int numk) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    if (t < numk) {
+        float re = phiR[t];
+        float im = phiI[t];
+        phiMag[t] = re * re + im * im;
+    }
+}
+"""
+
+RECON_SRC = """
+kernel recon(float* phiMag, float* kx, float* x, float* out, int numk, int numx) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    if (t < numx) {
+        float xl = x[t];
+        float q = 0.0;
+        for (int k = 0; k < numk; k++) {
+            q = q + phiMag[k] * cos(6.2831853 * kx[k] * xl);
+        }
+        out[t] = q;
+    }
+}
+"""
+
+NUMK, NUMX = 32, 64
+
+
+def setup(device, rng):
+    device.memory.reset()
+    phi_r = rng.normal(size=NUMK).astype(np.float32)
+    phi_i = rng.normal(size=NUMK).astype(np.float32)
+    kx = rng.uniform(-0.5, 0.5, NUMK).astype(np.float32)
+    x = rng.uniform(-1, 1, NUMX).astype(np.float32)
+    bufs = {}
+    for name, data, n in (
+        ("phiR", phi_r, NUMK), ("phiI", phi_i, NUMK), ("phiMag", None, NUMK),
+        ("kx", kx, NUMK), ("x", x, NUMX), ("out", None, NUMX),
+    ):
+        bufs[name] = device.memory.alloc(name, n, DType.FLOAT32)
+        if data is not None:
+            device.memory.memcpy_htod(bufs[name], data)
+    return bufs
+
+
+def run_pipeline(runtime, kernels, bufs, lib):
+    """Both kernels share one bound library (one device control block)."""
+    phimag_k, recon_k = kernels
+    runtime.launch(phimag_k, (NUMK + 15) // 16, 16,
+                   {"phiR": bufs["phiR"], "phiI": bufs["phiI"],
+                    "phiMag": bufs["phiMag"], "numk": NUMK}, lib=lib)
+    runtime.launch(recon_k, (NUMX + 15) // 16, 16,
+                   {"phiMag": bufs["phiMag"], "kx": bufs["kx"], "x": bufs["x"],
+                    "out": bufs["out"], "numk": NUMK, "numx": NUMX}, lib=lib)
+
+
+def main():
+    device = Device()
+    runtime = GPURuntime(device)
+    phimag_kernel = parse_kernel(PHIMAG_SRC)
+    recon_kernel = parse_kernel(RECON_SRC)
+
+    # instrument each kernel with a disjoint detector range
+    t1 = HauberkTranslator(TranslatorOptions(detector_base=0))
+    phimag_ft = t1.build(phimag_kernel, "ft")
+    base2 = len(phimag_ft.detector_configs)
+    t2 = HauberkTranslator(TranslatorOptions(detector_base=base2))
+    recon_ft = t2.build(recon_kernel, "ft")
+
+    all_configs = phimag_ft.detector_configs + recon_ft.detector_configs
+    ids = [c.detector for c in all_configs]
+    assert len(ids) == len(set(ids)), "detector ranges must be disjoint"
+    print("detectors:", [(c.detector, c.kernel, c.variable) for c in all_configs])
+
+    # train both kernels' detectors through the same profiler
+    prof = RangeProfiler()
+    t1p = HauberkTranslator(TranslatorOptions(detector_base=0))
+    t2p = HauberkTranslator(TranslatorOptions(detector_base=base2))
+    prof_kernels = (
+        t1p.build(phimag_kernel, "profiler").kernel,
+        t2p.build(recon_kernel, "profiler").kernel,
+    )
+    for seed in range(3):
+        bufs = setup(device, np.random.default_rng(seed))
+        run_pipeline(runtime, prof_kernels, bufs, prof)
+    cb = ControlBlock()
+    cb.configure(all_configs)
+    cb.load_ranges(prof.finalize())
+
+    # a clean protected run: one control block, two kernels, no alarms
+    device_cb = cb.copy_to_device()
+    lib = HauberkFTLibrary(device_cb)
+    bufs = setup(device, np.random.default_rng(1))
+    run_pipeline(runtime, (phimag_ft.kernel, recon_ft.kernel), bufs, lib)
+    cb.copy_from_device(device_cb)
+    out = device.memory.memcpy_dtoh(bufs["out"])
+    print(f"pipeline output[:4] = {np.round(out[:4], 3)}")
+    print(f"alarms after clean protected run: {cb.alarm_raised}")
+    assert not cb.alarm_raised
+
+    # corrupt the intermediate buffer between the kernels: the second
+    # kernel's loop detector sees the out-of-range averages
+    device_cb = cb.copy_to_device()
+    lib = HauberkFTLibrary(device_cb)
+    bufs = setup(device, np.random.default_rng(1))
+    runtime.launch(phimag_ft.kernel, (NUMK + 15) // 16, 16,
+                   {"phiR": bufs["phiR"], "phiI": bufs["phiI"],
+                    "phiMag": bufs["phiMag"], "numk": NUMK}, lib=lib)
+    device.memory.inject_word_fault(bufs["phiMag"].base + 3, 1 << 28)
+    runtime.launch(recon_ft.kernel, (NUMX + 15) // 16, 16,
+                   {"phiMag": bufs["phiMag"], "kx": bufs["kx"], "x": bufs["x"],
+                    "out": bufs["out"], "numk": NUMK, "numx": NUMX}, lib=lib)
+    cb.copy_from_device(device_cb)
+    print(f"alarms after corrupting the inter-kernel buffer: {cb.alarm_raised}")
+    for event in cb.events[:3]:
+        cfg = cb.detectors[event.detector]
+        print(f"  detector {event.detector} ({cfg.kernel}/{cfg.variable}): "
+              f"{event.kind}, value={event.value:.3g}")
+    assert cb.alarm_raised
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Detector overhead comparison on one workload (Figure 13, one bar group).
+
+Measures modeled kernel time of CP under every technique: baseline,
+R-Naive (run twice), R-Scatter (inline duplication), HAUBERK-NL only,
+HAUBERK-L only, and full HAUBERK — and shows R-Scatter failing to
+compile TPACF because doubling its shared memory exceeds the device.
+
+Run:  python examples/overhead_comparison.py
+"""
+
+from repro.baselines import RNaiveHarness, rscatter_kernel
+from repro.core.program import HauberkProgram
+from repro.core.translator import TranslatorOptions
+from repro.errors import CompileError
+from repro.gpu.runtime import GPURuntime
+from repro.harness.reporting import print_table
+from repro.workloads import get_workload
+
+
+def measure(name="CP"):
+    wl = get_workload(name)
+    inp = wl.generate_input(0)
+
+    prog = HauberkProgram(wl)
+    prog.train(seeds=[0, 1, 2])
+    baseline = prog.measure_time("original", inp=inp)
+    hauberk = prog.measure_time("ft", inp=inp)
+
+    nl_only = HauberkProgram(get_workload(name),
+                             options=TranslatorOptions(enable_loop=False))
+    t_nl = nl_only.measure_time("ft", inp=inp)
+
+    l_only = HauberkProgram(get_workload(name),
+                            options=TranslatorOptions(enable_nonloop=False))
+    l_only.train(seeds=[0, 1, 2])
+    t_l = l_only.measure_time("ft", inp=inp)
+
+    rnaive = RNaiveHarness(wl, prog.device).measure_time(inp)
+
+    try:
+        rk = rscatter_kernel(wl.kernel, prog.device.spec)
+        args, _ = wl.setup_memory(prog.device, inp)
+        rscatter = GPURuntime(prog.device).launch(
+            rk, inp.grid, inp.block, args, budget=wl.hang_budget
+        ).kernel_time
+        rs_cell = f"{100 * (rscatter / baseline - 1):.1f}%"
+    except CompileError as exc:
+        rs_cell = "no-compile"
+
+    oh = lambda t: f"{100 * (t / baseline - 1):.1f}%"  # noqa: E731
+    return [
+        (name, oh(rnaive), rs_cell, oh(t_nl), oh(t_l), oh(hauberk)),
+    ]
+
+
+def main():
+    rows = []
+    for name in ("CP", "RPES", "TPACF"):
+        rows.extend(measure(name))
+    print_table(
+        "Detector overhead vs baseline (Figure 13 excerpt)",
+        ["benchmark", "R-Naive", "R-Scatter", "HAUBERK-NL", "HAUBERK-L", "HAUBERK"],
+        rows,
+    )
+    print("Paper anchors: R-Naive ~100%; R-Scatter ~89% and uncompilable for")
+    print("TPACF; HAUBERK ~5% on CP (self-accumulating FP loop variable) but")
+    print("dominated by duplication cost on the non-loop-heavy RPES.")
+
+
+if __name__ == "__main__":
+    main()

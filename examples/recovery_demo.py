@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Error recovery walkthrough: the Figure 11 flowchart end to end.
+
+Demonstrates every diagnosis verdict of the recovery engine on a
+two-GPU node:
+
+* a clean run;
+* a transient fault — alarm, re-execution, retry's output adopted;
+* a false alarm from an unlucky input — re-execution matches, ranges
+  learned on-line;
+* a permanent hardware fault — alarms with diverging outputs, BIST
+  fails, the device is disabled and the program migrates to GPU #2;
+* the back-off daemon re-enabling the device once the (intermittent)
+  defect clears.
+
+Run:  python examples/recovery_demo.py
+"""
+
+from repro.core.program import HauberkProgram
+from repro.core.ranges import RangeSet, ValueRange
+from repro.core.recovery import RecoveryEngine
+from repro.core.bist import run_bist
+from repro.gpu.cluster import GPUNode
+from repro.swifi import FaultSpec, enumerate_targets
+from repro.workloads import get_workload
+
+
+def accumulator_fault(wl, occurrence):
+    site = next(
+        s for s in enumerate_targets(wl.kernel)
+        if s.name == "qr" and s.kind == "assign"
+    )
+    return FaultSpec(site=site.site, mask=1 << 29, thread=3, occurrence=occurrence)
+
+
+def main():
+    node = GPUNode(num_devices=2)
+    wl = get_workload("MRI-Q")
+    prog = HauberkProgram(wl, device=node.healthy_device())
+    prog.train(seeds=[0, 1, 2])
+    engine = RecoveryEngine(prog, node=node)
+    inp = wl.generate_input(0)
+
+    # --- clean ------------------------------------------------------------
+    result = engine.execute(inp, lambda i: None)
+    print(f"clean run        -> verdict={result.verdict!r}, runs={result.runs}")
+
+    # --- transient fault ---------------------------------------------------
+    fault = accumulator_fault(wl, occurrence=wl.numk)
+    result = engine.execute(inp, lambda i: fault if i == 0 else None)
+    print(f"transient fault  -> verdict={result.verdict!r}, runs={result.runs} "
+          f"(retry adopted)")
+
+    # --- false alarm ---------------------------------------------------------
+    for det in prog.cb.detectors.values():
+        det.ranges = RangeSet(ranges=[ValueRange(1e8, 1e9)])  # bad training
+    result = engine.execute(inp, lambda i: None)
+    print(f"false alarm      -> verdict={result.verdict!r}, "
+          f"ranges updated={result.ranges_updated} (on-line learning)")
+    result = engine.execute(inp, lambda i: None)
+    print(f"  after learning -> verdict={result.verdict!r}")
+
+    # --- permanent hardware fault -------------------------------------------
+    bad_device = prog.device
+    bad_device.defect = "register"
+
+    def persistent(i):
+        if prog.device is not bad_device:
+            return None
+        return accumulator_fault(wl, occurrence=wl.numk - i % 3)
+
+    result = engine.execute(inp, persistent)
+    print(f"permanent fault  -> verdict={result.verdict!r}, "
+          f"migrated={result.migrated}; device {bad_device.device_id} "
+          f"enabled={bad_device.enabled}")
+
+    # --- back-off daemon re-enables once the defect clears --------------------
+    node.disable(bad_device, now=0.0)  # ensure back-off entry exists
+    assert node.run_backoff_daemon(1.0, run_bist) == []  # still defective
+    bad_device.defect = None  # the intermittent fault went away
+    entry = node.pending_backoff(bad_device.device_id)
+    reenabled = node.run_backoff_daemon(entry.next_probe_time, run_bist)
+    print(f"back-off daemon  -> re-enabled devices: {reenabled}")
+    assert bad_device.enabled
+
+
+if __name__ == "__main__":
+    main()

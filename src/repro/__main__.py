@@ -1,0 +1,165 @@
+"""Command-line interface: regenerate paper experiments from a shell.
+
+Usage::
+
+    python -m repro list                      # available experiments
+    python -m repro run fig04 --scale loopy   # regenerate one figure
+    python -m repro run all --scale smoke     # everything, fast
+    python -m repro workloads                 # benchmark inventory
+    python -m repro inspect CP --mode ft      # show instrumented source
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.harness.config import BENCH, LOOPY, SMOKE, ExperimentScale
+
+_SCALES = {"smoke": SMOKE, "bench": BENCH, "loopy": LOOPY}
+
+
+def _experiments() -> Dict[str, Tuple[Callable, Callable, str]]:
+    """name -> (run, print, description); imported lazily."""
+    from repro.harness import (
+        fig01_sensitivity,
+        fig02_memory,
+        fig03_graphics,
+        fig04_loops,
+        fig09_dependency,
+        fig10_ranges,
+        fig13_overhead,
+        fig14_coverage,
+        fig15_bitflip,
+        fig16_falsepos,
+        sec9c_alpha,
+        sec9d_instrumentation,
+    )
+
+    return {
+        "fig01": (fig01_sensitivity.run_fig01, fig01_sensitivity.print_fig01,
+                  "error sensitivity: GPU HPC / graphics / CPU"),
+        "fig02": (fig02_memory.run_fig02, fig02_memory.print_fig02,
+                  "memory footprint by data type"),
+        "fig03": (fig03_graphics.run_fig03, fig03_graphics.print_fig03,
+                  "transient vs intermittent faults in graphics"),
+        "fig04": (fig04_loops.run_fig04, fig04_loops.print_fig04,
+                  "GPU time spent on loops"),
+        "fig09": (fig09_dependency.run_fig09, fig09_dependency.print_fig09,
+                  "CP loop dependency scores / target selection"),
+        "fig10": (fig10_ranges.run_fig10, fig10_ranges.print_fig10,
+                  "MRI-Q variable value distributions"),
+        "fig13": (fig13_overhead.run_fig13, fig13_overhead.print_fig13,
+                  "performance overhead of every technique"),
+        "fig14": (fig14_coverage.run_fig14, fig14_coverage.print_fig14,
+                  "detection coverage by benchmark and error bits"),
+        "fig15": (fig15_bitflip.run_fig15, fig15_bitflip.print_fig15,
+                  "FP value change magnitude vs bits flipped"),
+        "fig16": (fig16_falsepos.run_fig16, fig16_falsepos.print_fig16,
+                  "false-positive ratio vs training sets"),
+        "sec9c": (sec9c_alpha.run_sec9c, sec9c_alpha.print_sec9c,
+                  "MRI-FHD coverage vs alpha"),
+        "sec9d": (sec9d_instrumentation.run_sec9d,
+                  sec9d_instrumentation.print_sec9d,
+                  "instrumentation time"),
+    }
+
+
+def cmd_list(_args) -> int:
+    for name, (_r, _p, desc) in _experiments().items():
+        print(f"  {name:7s} {desc}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    experiments = _experiments()
+    names = list(experiments) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in experiments]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'python -m repro list'",
+              file=sys.stderr)
+        return 2
+    scale = _SCALES[args.scale]
+    for name in names:
+        run, show, desc = experiments[name]
+        print(f"== {name}: {desc} (scale={args.scale}) ==")
+        start = time.perf_counter()
+        result = run(scale)
+        show(result)
+        print(f"[{name} took {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    from repro.core.program import HauberkProgram
+    from repro.harness.reporting import print_table
+    from repro.workloads import all_workloads, get_workload
+
+    rows = []
+    for name in all_workloads():
+        wl = get_workload(name)
+        prog = HauberkProgram(wl)
+        result = prog.run(mode="original", seed=0)
+        ok = wl.spec.check(result.output, wl.golden(wl.generate_input(0)))
+        rows.append(
+            (name, result.launch.n_threads,
+             f"{result.launch.total_cycles:.0f}",
+             f"{100 * result.launch.loop_fraction:.1f}%", ok)
+        )
+    print_table(
+        "Workload inventory (baseline runs)",
+        ["workload", "threads", "cycles", "loop time", "golden ok"],
+        rows,
+    )
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro.core.translator import HauberkTranslator
+    from repro.kir.printer import kernel_to_source
+    from repro.workloads import get_workload
+
+    wl = get_workload(args.workload)
+    build = HauberkTranslator().build(wl.kernel, args.mode)
+    print(kernel_to_source(build.kernel))
+    if build.detector_configs:
+        print(f"\n// {len(build.detector_configs)} loop detector(s):")
+        for cfg in build.detector_configs:
+            print(f"//   det {cfg.detector}: {cfg.variable} "
+                  f"(self-acc={cfg.self_accumulating}, trip={cfg.has_trip_check})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Hauberk paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(fn=cmd_list)
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment")
+    run_p.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    run_p.set_defaults(fn=cmd_run)
+
+    sub.add_parser("workloads", help="benchmark inventory").set_defaults(
+        fn=cmd_workloads
+    )
+
+    ins_p = sub.add_parser("inspect", help="print an instrumented kernel")
+    ins_p.add_argument("workload")
+    ins_p.add_argument(
+        "--mode", choices=("original", "profiler", "ft", "fi", "fift"), default="ft"
+    )
+    ins_p.set_defaults(fn=cmd_inspect)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Comparison techniques from Section III / Figure 13.
+
+* :mod:`repro.baselines.rnaive` — R-Naive [11]: execute the kernel
+  twice on separate copies of the data and compare the outputs
+  (~100% detection, ~100% time overhead, 2x CPU memory).
+* :mod:`repro.baselines.rscatter` — R-Scatter [11]: optimized inline
+  duplication exploiting data-level parallelism.  On GPUs the
+  duplicated computation contends for the same saturated resources, so
+  the overhead stays near 90%; doubling shared memory makes kernels
+  that already use more than half of it (TPACF) uncompilable.
+"""
+
+from repro.baselines.rnaive import RNaiveHarness, RNaiveResult
+from repro.baselines.rscatter import apply_rscatter, RScatterInfo, rscatter_kernel
+
+__all__ = [
+    "RNaiveHarness",
+    "RNaiveResult",
+    "apply_rscatter",
+    "RScatterInfo",
+    "rscatter_kernel",
+]

@@ -1,0 +1,108 @@
+"""R-Naive: full temporal duplication by re-executing the kernel.
+
+"R-Naive executes [the] same GPU kernel twice by using two different
+copies of memory data.  R-Naive has a good SDC error detection ratio
+(~100%) but it also almost doubles the GPU execution time and CPU
+memory space used to keep input and output data" (Section III).
+
+The harness runs the workload's kernel twice with independent device
+layouts and compares outputs bit-exactly.  A fault armed for the first
+execution therefore diverges the copies and is detected — unless it
+crashes or hangs the kernel, the very cases Section IX.B notes R-Naive
+cannot handle (the guardian can).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import KernelCrash, KernelHang
+from repro.gpu.device import Device
+from repro.gpu.runtime import GPURuntime
+from repro.swifi.faultmodel import FaultSpec
+from repro.swifi.injector import FaultInjectionLibrary, instrument_for_fi
+from repro.workloads.base import Workload, WorkloadInput
+
+
+@dataclass
+class RNaiveResult:
+    """Outcome of one duplicated execution pair."""
+
+    status: str  # "ok" | "crash" | "hang"
+    detected: bool
+    output: Optional[np.ndarray]
+    #: Sum of both kernel times (the ~100% overhead of Figure 13).
+    kernel_time: float
+    #: Extra CPU memory (bytes) to hold the second copy of the outputs.
+    extra_host_bytes: int
+    failure_reason: str = ""
+
+
+class RNaiveHarness:
+    """Runs a workload under R-Naive duplication."""
+
+    def __init__(self, workload: Workload, device: Optional[Device] = None):
+        self.workload = workload
+        self.device = device if device is not None else Device()
+        self.runtime = GPURuntime(self.device)
+        self._fi_kernel = None
+
+    def _kernel_with_hooks(self):
+        if self._fi_kernel is None:
+            self._fi_kernel = instrument_for_fi(self.workload.kernel)
+        return self._fi_kernel
+
+    def run(
+        self,
+        inp: WorkloadInput,
+        fault: Optional[FaultSpec] = None,
+        budget: int = 2_000_000,
+    ) -> RNaiveResult:
+        outputs = []
+        total_time = 0.0
+        for execution in range(2):
+            args, handles = self.workload.setup_memory(self.device, inp)
+            if fault is not None and execution == 0:
+                kernel = self._kernel_with_hooks()
+                lib = FaultInjectionLibrary(self.workload.kernel, fault)
+            else:
+                kernel = self.workload.kernel
+                lib = None
+            try:
+                launch = self.runtime.launch(
+                    kernel, inp.grid, inp.block, args, lib=lib, budget=budget
+                )
+            except (KernelCrash, KernelHang) as exc:
+                status = "hang" if isinstance(exc, KernelHang) else "crash"
+                return RNaiveResult(
+                    status=status,
+                    detected=False,
+                    output=None,
+                    kernel_time=total_time,
+                    extra_host_bytes=self._output_bytes(inp),
+                    failure_reason=str(exc),
+                )
+            total_time += launch.kernel_time
+            outputs.append(self.workload.read_output(self.device, inp, handles))
+        detected = not np.array_equal(outputs[0], outputs[1])
+        # on mismatch the second (fault-free here) output is the safe pick
+        return RNaiveResult(
+            status="ok",
+            detected=detected,
+            output=outputs[1] if detected else outputs[0],
+            kernel_time=total_time,
+            extra_host_bytes=self._output_bytes(inp),
+        )
+
+    def _output_bytes(self, inp: WorkloadInput) -> int:
+        return sum(4 * inp.buffer(name).nwords for name in inp.outputs)
+
+    def measure_time(self, inp: WorkloadInput) -> float:
+        """Fault-free duplicated execution time (Figure 13 bar)."""
+        result = self.run(inp)
+        if result.status != "ok":
+            raise KernelCrash(f"R-Naive baseline failed: {result.failure_reason}")
+        return result.kernel_time

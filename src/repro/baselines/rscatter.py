@@ -1,0 +1,184 @@
+"""R-Scatter: optimized inline duplication (EDDI-style, per [11]).
+
+Every defining statement is duplicated into a shadow register chain
+(shadow definitions read shadow operands, so an error in either chain
+diverges them), with an equality check feeding a deferred flag that is
+validated at kernel exit.  Duplicated statements are charged at
+``RS_COST_SCALE`` of their cost: GPU programs "already use most of the
+usable hardware resources", so unlike VLIW CPUs there is little slack
+— which is why the paper measures >84% overhead for this technique on
+GPUs (Section III, Figure 13).
+
+Resource doubling is enforced: R-Scatter "doubles used GPU memory
+space and resources (e.g. global/shared memory and partly registers)",
+so a kernel using more than half the device's shared memory — TPACF —
+raises :class:`~repro.errors.CompileError`, exactly the paper's
+"we could not compile this program using the R-Scatter error
+detectors".
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.ftlib import HauberkFTLibrary  # noqa: F401  (doc reference)
+from repro.errors import CompileError, KIRValidationError
+from repro.gpu.device import DeviceSpec, GT200_SPEC
+from repro.kir.astnodes import (
+    Assign,
+    BinOp,
+    CallStmt,
+    Const,
+    Decl,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Return,
+    Stmt,
+    Var,
+    While,
+    walk_exprs,
+)
+from repro.kir.types import DType
+from repro.kir.validate import validate_kernel
+
+#: Cost multiplier for duplicated statements: near 1 because the
+#: original kernel already saturates the GPU's resources.
+RS_COST_SCALE = 0.8
+
+FLAG_VAR = "__rsflag"
+VALIDATE_FUNC = "__hauberk_checksum_validate"
+
+
+@dataclass
+class RScatterInfo:
+    duplicated_definitions: int = 0
+    checks: int = 0
+    shadows: Dict[str, str] = field(default_factory=dict)
+
+
+def _shadow_name(name: str) -> str:
+    return f"__rs_{name}"
+
+
+def _shadow_expr(e: Expr, shadows: Dict[str, str]) -> Expr:
+    """Copy of an expression reading shadow registers where they exist."""
+    clone = copy.deepcopy(e)
+    for node in walk_exprs(clone):
+        if isinstance(node, Var) and node.name in shadows:
+            node.name = shadows[node.name]
+    return clone
+
+
+def _scaled(stmt: Stmt) -> Stmt:
+    stmt.cost_scale = RS_COST_SCALE
+    return stmt
+
+
+class _RScatterTransformer:
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.info = RScatterInfo()
+
+    def apply(self) -> RScatterInfo:
+        for_return = any(
+            isinstance(s, Return) for s, _ in _walk(self.kernel.body)
+        )
+        if for_return:
+            raise KIRValidationError("R-Scatter requires return-free kernels")
+        body = self._process_block(self.kernel.body)
+        header = [Decl(FLAG_VAR, DType.INT32, Const(0))]
+        footer = [CallStmt(VALIDATE_FUNC, [Const(0), Var(FLAG_VAR)])]
+        self.kernel.body = header + body + footer
+        return self.info
+
+    def _process_block(self, stmts: List[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, Decl) and not stmt.name.startswith("__"):
+                out.append(stmt)
+                out.extend(self._duplicate(stmt.name, stmt.var_dtype, stmt.init, declare=True))
+            elif isinstance(stmt, Assign) and not stmt.name.startswith("__"):
+                out.append(stmt)
+                declare = stmt.name not in self.info.shadows
+                out.extend(
+                    self._duplicate(stmt.name, stmt.target_dtype, stmt.value, declare=declare)
+                )
+            elif isinstance(stmt, For):
+                if stmt.init is not None and stmt.init.name not in self.info.shadows:
+                    # the iterator is control state checked via the trip
+                    # structure; R-Scatter leaves loop control alone
+                    pass
+                stmt.body = self._process_block(stmt.body)
+                out.append(stmt)
+            elif isinstance(stmt, While):
+                stmt.body = self._process_block(stmt.body)
+                out.append(stmt)
+            elif isinstance(stmt, If):
+                stmt.then = self._process_block(stmt.then)
+                stmt.els = self._process_block(stmt.els)
+                out.append(stmt)
+            else:
+                out.append(stmt)
+        return out
+
+    def _duplicate(
+        self, name: str, dtype: DType, rhs: Expr, declare: bool
+    ) -> List[Stmt]:
+        """Shadow definition + divergence check for one definition."""
+        shadow = _shadow_name(name)
+        reads_self = any(
+            isinstance(n, Var) and n.name == name for n in walk_exprs(rhs)
+        )
+        if declare and reads_self:
+            # x = f(x) with no shadow yet: seed the shadow from x itself
+            self.info.shadows[name] = shadow
+            seed = _scaled(Decl(shadow, dtype, Var(name)))
+            self.info.duplicated_definitions += 1
+            return [seed, self._check(name, shadow)]
+        shadow_rhs = _shadow_expr(rhs, self.info.shadows)
+        self.info.shadows[name] = shadow
+        if declare:
+            dup: Stmt = _scaled(Decl(shadow, dtype, shadow_rhs))
+        else:
+            dup = _scaled(Assign(shadow, shadow_rhs))
+        self.info.duplicated_definitions += 1
+        return [dup, self._check(name, shadow)]
+
+    def _check(self, name: str, shadow: str) -> Stmt:
+        self.info.checks += 1
+        return _scaled(
+            If(
+                cond=BinOp("!=", Var(name), Var(shadow)),
+                then=[Assign(FLAG_VAR, Const(1))],
+                els=[],
+            )
+        )
+
+
+def _walk(body):
+    from repro.kir.astnodes import walk_stmts
+
+    return walk_stmts(body)
+
+
+def apply_rscatter(kernel: Kernel, spec: DeviceSpec = GT200_SPEC) -> RScatterInfo:
+    """Apply R-Scatter in place (clone first); checks resource doubling."""
+    if kernel.shared_mem_words * 2 > spec.shared_mem_words:
+        raise CompileError(
+            f"R-Scatter doubles shared memory: kernel {kernel.name} needs "
+            f"{2 * kernel.shared_mem_words} words, device has "
+            f"{spec.shared_mem_words} (the paper's TPACF case)"
+        )
+    return _RScatterTransformer(kernel).apply()
+
+
+def rscatter_kernel(kernel: Kernel, spec: DeviceSpec = GT200_SPEC) -> Kernel:
+    """Cloned, validated R-Scatter build of a kernel."""
+    clone = kernel.clone()
+    apply_rscatter(clone, spec)
+    validate_kernel(clone)
+    return clone

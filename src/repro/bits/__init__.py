@@ -1,0 +1,48 @@
+"""32-bit pattern manipulation for fault injection and checksums.
+
+The paper's SWIFI tool emulates hardware faults by XORing error masks
+into the 32-bit architecture state holding a program variable
+(Section VII).  All conversions here follow IEEE-754 binary32 for
+floats and two's-complement for integers so injected fault magnitudes
+match what real GPU register corruption would produce (Figure 15).
+"""
+
+from repro.bits.float_bits import (
+    bits_to_float,
+    bits_to_int,
+    float_to_bits,
+    flip_float_bits,
+    flip_int_bits,
+    int_to_bits,
+    wrap_i32,
+    value_to_bits,
+    bits_to_value,
+)
+from repro.bits.masks import (
+    MaskGenerator,
+    bit_count,
+    decade_of,
+    magnitude_change_bucket,
+    random_mask,
+    single_bit_mask,
+    flip_f32_array,
+)
+
+__all__ = [
+    "bits_to_float",
+    "bits_to_int",
+    "float_to_bits",
+    "flip_float_bits",
+    "flip_int_bits",
+    "int_to_bits",
+    "wrap_i32",
+    "value_to_bits",
+    "bits_to_value",
+    "MaskGenerator",
+    "bit_count",
+    "decade_of",
+    "magnitude_change_bucket",
+    "random_mask",
+    "single_bit_mask",
+    "flip_f32_array",
+]

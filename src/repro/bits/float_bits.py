@@ -1,0 +1,86 @@
+"""Scalar 32-bit reinterpretation helpers.
+
+Kernel values live in Python native types for interpreter speed (see
+DESIGN.md section 4); these helpers are the single place where values
+cross into bit-pattern space.  Floats round-trip through IEEE-754
+binary32, so a flipped exponent bit produces exactly the magnitude
+excursion a real float32 register corruption would.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+_PACK_F = struct.Struct("<f")
+_PACK_I = struct.Struct("<i")
+_PACK_U = struct.Struct("<I")
+
+_U32 = 0xFFFFFFFF
+_I32_MIN = -(2**31)
+_I32_MAX = 2**31 - 1
+
+
+def wrap_i32(value: int) -> int:
+    """Wrap an arbitrary Python int to signed 32-bit two's complement."""
+    value &= _U32
+    if value > _I32_MAX:
+        value -= 1 << 32
+    return value
+
+
+def float_to_bits(value: float) -> int:
+    """Reinterpret a float as its binary32 bit pattern (unsigned 32-bit).
+
+    Values outside float32 range become +/-inf exactly as a float32
+    register would hold them.
+    """
+    try:
+        return _PACK_U.unpack(_PACK_F.pack(value))[0]
+    except OverflowError:
+        # float64 magnitude beyond binary32: saturates to signed infinity
+        inf = math.inf if value > 0 else -math.inf
+        return _PACK_U.unpack(_PACK_F.pack(inf))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Reinterpret an unsigned 32-bit pattern as a binary32 float."""
+    return _PACK_F.unpack(_PACK_U.pack(bits & _U32))[0]
+
+
+def int_to_bits(value: int) -> int:
+    """Two's-complement bit pattern of a (possibly negative) int."""
+    return value & _U32
+
+
+def bits_to_int(bits: int) -> int:
+    """Signed 32-bit value of a bit pattern."""
+    return wrap_i32(bits)
+
+
+def flip_float_bits(value: float, mask: int) -> float:
+    """XOR ``mask`` into the binary32 representation of ``value``."""
+    return bits_to_float(float_to_bits(value) ^ (mask & _U32))
+
+
+def flip_int_bits(value: int, mask: int) -> int:
+    """XOR ``mask`` into the two's-complement representation of ``value``."""
+    return wrap_i32(int_to_bits(value) ^ (mask & _U32))
+
+
+def value_to_bits(value, is_float: bool) -> int:
+    """Bit pattern of a kernel value given its static type.
+
+    This is the operation behind the HAUBERK-NL checksum: the 4-byte
+    aligned XOR of a variable's representation (Section V.A).
+    """
+    if is_float:
+        return float_to_bits(float(value))
+    return int_to_bits(int(value))
+
+
+def bits_to_value(bits: int, is_float: bool):
+    """Inverse of :func:`value_to_bits`."""
+    if is_float:
+        return bits_to_float(bits)
+    return bits_to_int(bits)

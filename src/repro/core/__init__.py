@@ -1,0 +1,64 @@
+"""HAUBERK — customized SDC error detection and recovery for GPU kernels.
+
+The paper's contribution (Sections IV-VI):
+
+* :mod:`repro.core.ranges` / :mod:`repro.core.profiler` — value-range
+  learning with up to three FP correlation points, plus alpha scaling;
+* :mod:`repro.core.nonloop` — HAUBERK-NL: duplication with an
+  immediately-checked duplicate and a single shared XOR checksum;
+* :mod:`repro.core.loopdet` — HAUBERK-L: accumulation-based range
+  checking of the loop variable with the largest cumulative backward
+  dataflow dependency, plus a trip-count invariant;
+* :mod:`repro.core.translator` — the source-to-source instrumentation
+  engine producing the Table I build matrix (Profiler / FT / FI / FI&FT);
+* :mod:`repro.core.controlblock` / :mod:`repro.core.ftlib` — the
+  CPU<->GPU control block and the runtime detector library;
+* :mod:`repro.core.program` — the CPU-side harness (Figure 7 flow);
+* :mod:`repro.core.recovery` / :mod:`repro.core.guardian` /
+  :mod:`repro.core.bist` / :mod:`repro.core.checkpoint` — the Figure 11
+  diagnosis flowchart, guardian process, BIST, and checkpointing.
+"""
+
+from repro.core.ranges import ValueRange, RangeSet
+from repro.core.profiler import RangeProfiler, learn_fp_ranges, learn_int_ranges
+from repro.core.controlblock import ControlBlock, DetectorConfig, DetectionEvent
+from repro.core.ftlib import HauberkFTLibrary
+from repro.core.translator import (
+    HauberkTranslator,
+    InstrumentedKernel,
+    TranslatorOptions,
+)
+from repro.core.program import HauberkProgram, ProgramResult, RunStatus
+from repro.core.recovery import RecoveryEngine, AlphaController, DiagnosisResult
+from repro.core.guardian import Guardian, GuardianReport
+from repro.core.bist import run_bist
+from repro.core.checkpoint import Checkpoint, CheckpointLibrary
+from repro.core.audit import AuditReport, audit_build
+
+__all__ = [
+    "ValueRange",
+    "RangeSet",
+    "RangeProfiler",
+    "learn_fp_ranges",
+    "learn_int_ranges",
+    "ControlBlock",
+    "DetectorConfig",
+    "DetectionEvent",
+    "HauberkFTLibrary",
+    "HauberkTranslator",
+    "InstrumentedKernel",
+    "TranslatorOptions",
+    "HauberkProgram",
+    "ProgramResult",
+    "RunStatus",
+    "RecoveryEngine",
+    "AlphaController",
+    "DiagnosisResult",
+    "Guardian",
+    "GuardianReport",
+    "run_bist",
+    "Checkpoint",
+    "CheckpointLibrary",
+    "AuditReport",
+    "audit_build",
+]

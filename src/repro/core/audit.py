@@ -1,0 +1,200 @@
+"""Structural audit of instrumented kernels (the Table I contract).
+
+The paper argues Hauberk instrumentation can be applied by an engineer
+"even if he does not have a good understanding of the semantics of the
+target program" — which makes a mechanical verifier valuable: given an
+original kernel and a build, ``audit_build`` checks every Table I
+instrumentation site is present and well-formed:
+
+* one checksum declaration + mismatch flag, initialized to zero;
+* an *even* number of checksum XOR updates (the zero-sum invariant's
+  static precondition), with every parameter XORed at least twice;
+* the exit ``__hauberk_checksum_validate`` as the last statement;
+* per loop detector: counter declaration before the loop, counter
+  increment inside it, guarded ``check_range`` after it, and a trip
+  check when the detector claims one;
+* for FI / FI&FT builds: a hook for every original virtual-variable
+  site, carrying the *original* numbering.
+
+Used by the Section IX.D bench and exposed for users instrumenting
+their own kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.core.loopdet import CHECK_EQUAL_FUNC, CHECK_RANGE_FUNC
+from repro.core.nonloop import CHECKSUM_VAR, MISMATCH_VAR, VALIDATE_FUNC
+from repro.core.translator import InstrumentedKernel
+from repro.kir.analysis.dataflow import collect_sites
+from repro.kir.astnodes import (
+    Assign,
+    BinOp,
+    CallStmt,
+    Const,
+    Decl,
+    Kernel,
+    Return,
+    Var,
+    walk_exprs,
+    walk_stmts,
+)
+from repro.swifi.injector import FI_FUNC
+
+
+@dataclass
+class AuditFinding:
+    """One deviation from the Table I contract."""
+
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.message}"
+
+
+@dataclass
+class AuditReport:
+    findings: List[AuditFinding] = field(default_factory=list)
+
+    def error(self, message: str) -> None:
+        self.findings.append(AuditFinding("error", message))
+
+    def warning(self, message: str) -> None:
+        self.findings.append(AuditFinding("warning", message))
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+    @property
+    def errors(self) -> List[AuditFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+
+def _checksum_updates(kernel: Kernel) -> List[Assign]:
+    return [
+        s
+        for s, _ in walk_stmts(kernel.body)
+        if isinstance(s, Assign)
+        and s.name == CHECKSUM_VAR
+        and isinstance(s.value, BinOp)
+        and s.value.op == "^"
+    ]
+
+
+def _calls(kernel: Kernel, func: str) -> List[CallStmt]:
+    return [
+        s for s, _ in walk_stmts(kernel.body)
+        if isinstance(s, CallStmt) and s.func == func
+    ]
+
+
+def _names_in(expr) -> Set[str]:
+    return {n.name for n in walk_exprs(expr) if isinstance(n, Var)}
+
+
+def audit_build(original: Kernel, build: InstrumentedKernel) -> AuditReport:
+    """Verify an FT / FI / FI&FT build against the Table I contract."""
+    report = AuditReport()
+    kernel = build.kernel
+
+    if any(isinstance(s, Return) for s, _ in walk_stmts(kernel.body)):
+        report.error("instrumented kernel contains a return statement")
+
+    if build.mode in ("ft", "fift"):
+        _audit_ft(original, build, report)
+    if build.mode in ("fi", "fift"):
+        _audit_fi(original, build, report)
+    if build.mode == "profiler":
+        if not _calls(kernel, "__hauberk_profile_range") and build.detector_configs:
+            report.error("profiler build places no profile_range calls")
+    return report
+
+
+def _audit_ft(original: Kernel, build: InstrumentedKernel, report: AuditReport) -> None:
+    kernel = build.kernel
+    nl = build.nonloop_info
+
+    if nl is not None:
+        decls = {
+            s.name: s for s, _ in walk_stmts(kernel.body) if isinstance(s, Decl)
+        }
+        for var in (CHECKSUM_VAR, MISMATCH_VAR):
+            decl = decls.get(var)
+            if decl is None:
+                report.error(f"missing declaration of {var}")
+            elif not (isinstance(decl.init, Const) and decl.init.value == 0):
+                report.error(f"{var} is not initialized to zero")
+
+        updates = _checksum_updates(kernel)
+        if len(updates) % 2:
+            report.error(
+                f"odd number of checksum updates ({len(updates)}): "
+                "some XOR-in has no XOR-out"
+            )
+        for p in kernel.params:
+            touching = [u for u in updates if p.name in _names_in(u.value)]
+            if len(touching) < 2:
+                report.error(f"parameter {p.name!r} is not checksummed in and out")
+
+        validates = _calls(kernel, VALIDATE_FUNC)
+        if not validates:
+            report.error("missing exit checksum validation")
+        elif not (kernel.body and kernel.body[-1] is validates[-1]):
+            report.error("checksum validation is not the kernel's last statement")
+
+        if nl.duplicated_definitions:
+            dup_decls = [n for n in decls if n.startswith("__dup")]
+            if len(dup_decls) != nl.duplicated_definitions:
+                report.error(
+                    f"duplicate count mismatch: {len(dup_decls)} declarations vs "
+                    f"{nl.duplicated_definitions} recorded"
+                )
+
+    # loop detectors
+    range_checks = _calls(kernel, CHECK_RANGE_FUNC)
+    trip_checks = _calls(kernel, CHECK_EQUAL_FUNC)
+    configs = build.detector_configs
+    if len(range_checks) != len(configs):
+        report.error(
+            f"{len(configs)} detectors configured but {len(range_checks)} "
+            "check_range calls placed"
+        )
+    claimed_trips = sum(1 for c in configs if c.has_trip_check)
+    if len(trip_checks) != claimed_trips:
+        report.error(
+            f"{claimed_trips} trip checks claimed but {len(trip_checks)} placed"
+        )
+    decl_names = {s.name for s, _ in walk_stmts(kernel.body) if isinstance(s, Decl)}
+    for cfg in configs:
+        cnt = f"__cnt{cfg.detector}"
+        if cnt not in decl_names:
+            report.error(f"detector {cfg.detector}: missing counter {cnt}")
+        increments = [
+            s for s, _ in walk_stmts(kernel.body)
+            if isinstance(s, Assign) and s.name == cnt and s.in_loop
+        ]
+        if not increments:
+            report.error(f"detector {cfg.detector}: counter never incremented in a loop")
+        if not cfg.self_accumulating and f"__acc{cfg.detector}" not in decl_names:
+            report.error(f"detector {cfg.detector}: missing accumulator")
+
+
+def _audit_fi(original: Kernel, build: InstrumentedKernel, report: AuditReport) -> None:
+    hooks = _calls(build.kernel, FI_FUNC)
+    hooked_sites = set()
+    for h in hooks:
+        if not h.args or not isinstance(h.args[0], Const):
+            report.error("FI hook without a constant site id")
+            continue
+        hooked_sites.add(h.args[0].value)
+    original_sites = {s.site for s in collect_sites(original)}
+    missing = original_sites - hooked_sites
+    if missing:
+        report.error(f"{len(missing)} original sites lack FI hooks: {sorted(missing)}")
+    bogus = hooked_sites - original_sites
+    if bogus:
+        report.error(f"FI hooks reference unknown sites: {sorted(bogus)}")

@@ -1,0 +1,115 @@
+"""Built-in self test (Section VI(ii.c)).
+
+"We execute a GPU program that is specifically designed to produce
+multiple sets of output data by examining various parts of GPU
+hardware."  Two small kernels exercise the integer ALU and the FPU
+(including SFU transcendentals); outputs are compared against NumPy.
+A device carrying a simulated persistent ``defect`` fails the test —
+that is how the recovery engine distinguishes long-intermittent or
+permanent hardware faults from software issues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits import flip_float_bits, flip_int_bits
+from repro.gpu.device import Device
+from repro.gpu.runtime import GPURuntime
+from repro.kir.parser import parse_kernel
+from repro.kir.types import DType
+
+_ALU_KERNEL = parse_kernel(
+    """
+kernel bist_alu(int* data, int* out, int n) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    if (t < n) {
+        int v = data[t];
+        int acc = 0;
+        for (int i = 0; i < 8; i++) {
+            acc = acc + ((v * 1103515245 + 12345 + i) & 65535);
+            v = v ^ (acc << 1);
+        }
+        out[t] = acc;
+    }
+}
+"""
+)
+
+_FPU_KERNEL = parse_kernel(
+    """
+kernel bist_fpu(float* data, float* out, int n) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    if (t < n) {
+        float v = data[t];
+        float r = sqrt(v * v + 1.0) + sin(v) * cos(v) + exp(0.0 - fabs(v));
+        out[t] = r / (1.0 + fabs(v));
+    }
+}
+"""
+)
+
+_N = 32
+
+
+def _alu_golden(data: np.ndarray) -> np.ndarray:
+    wrap = lambda x: ((x + 2**31) % 2**32) - 2**31  # noqa: E731
+    out = np.zeros_like(data, dtype=np.int64)
+    v = data.astype(np.int64)
+    acc = np.zeros_like(v)
+    for i in range(8):
+        acc = wrap(acc + (wrap(v * 1103515245 + 12345 + i) & 65535))
+        v = wrap(v ^ wrap(acc << 1))
+    out = acc
+    return out
+
+
+def _fpu_golden(data: np.ndarray) -> np.ndarray:
+    v = data.astype(np.float64)
+    r = np.sqrt(v * v + 1.0) + np.sin(v) * np.cos(v) + np.exp(0.0 - np.abs(v))
+    return (r / (1.0 + np.abs(v))).astype(np.float32)
+
+
+def run_bist(device: Device, seed: int = 12345) -> bool:
+    """Self-test a device; True when all units produce correct data.
+
+    Works on disabled devices (that is the whole point of the back-off
+    daemon probing them).
+    """
+    was_enabled = device.enabled
+    device.enabled = True
+    try:
+        runtime = GPURuntime(device)
+        rng = np.random.default_rng(seed)
+
+        # integer ALU leg
+        device.memory.reset()
+        idata = rng.integers(-1000, 1000, _N).astype(np.int32)
+        a_in = device.memory.alloc("bist_i", _N, DType.INT32)
+        a_out = device.memory.alloc("bist_io", _N, DType.INT32)
+        device.memory.memcpy_htod(a_in, idata)
+        runtime.launch(_ALU_KERNEL, 1, _N, {"data": a_in, "out": a_out, "n": _N})
+        alu_result = device.memory.memcpy_dtoh(a_out).astype(np.int64)
+        if device.defect == "alu":
+            alu_result = alu_result.copy()
+            alu_result[0] = flip_int_bits(int(alu_result[0]), 1 << 7)
+        if not np.array_equal(alu_result, _alu_golden(idata)):
+            return False
+
+        # FPU / SFU leg
+        device.memory.reset()
+        fdata = rng.uniform(-2.0, 2.0, _N).astype(np.float32)
+        f_in = device.memory.alloc("bist_f", _N, DType.FLOAT32)
+        f_out = device.memory.alloc("bist_fo", _N, DType.FLOAT32)
+        device.memory.memcpy_htod(f_in, fdata)
+        runtime.launch(_FPU_KERNEL, 1, _N, {"data": f_in, "out": f_out, "n": _N})
+        fpu_result = device.memory.memcpy_dtoh(f_out)
+        if device.defect in ("fpu", "register"):
+            fpu_result = fpu_result.copy()
+            fpu_result[0] = flip_float_bits(float(fpu_result[0]), 1 << 23)
+        if not np.allclose(fpu_result, _fpu_golden(fdata), rtol=1e-6, atol=1e-7):
+            return False
+        return True
+    finally:
+        device.enabled = was_enabled
+        device.memory.reset()

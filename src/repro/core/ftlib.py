@@ -1,0 +1,93 @@
+"""The HAUBERK FT runtime library (Section V.B step iv).
+
+Device-side halves of the placed detectors.  All reporting is
+*deferred*: detectors only mark the control block; nothing aborts the
+kernel (Principle 3 — "if a potential SDC error is detected, this
+error detector does not terminate the GPU kernel").
+
+``HauberkCheckRange`` checks the averaged accumulator against the
+profiled (alpha-scaled) ranges; on a miss it "calculates new ranges
+(i.e., assuming it is a false positive) and stores this to [the]
+control block together with setting an SDC error bit" — the on-line
+learning half of the recovery loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.controlblock import ControlBlock, DetectionEvent
+from repro.errors import ReproError
+from repro.kir.interp.evalcore import ExecContext, InstrumentationLibrary
+
+
+class HauberkFTLibrary(InstrumentationLibrary):
+    """Runtime detector library bound to an FT-instrumented kernel."""
+
+    def __init__(self, control_block: Optional[ControlBlock] = None):
+        self.cb = control_block if control_block is not None else ControlBlock()
+
+    def bind(self, control_block: ControlBlock) -> None:
+        """Point the library at a (device copy of a) control block."""
+        self.cb = control_block
+
+    # -- HauberkCheckRange(cb, det, accumulator / iterator) ----------------
+    def lib_check_range(
+        self, ctx: ExecContext, frame: dict, detector: int, value: float
+    ) -> None:
+        cfg = self.cb.detectors.get(detector)
+        if cfg is None:
+            raise ReproError(f"check_range for unconfigured detector {detector}")
+        value = float(value)
+        if cfg.ranges.contains(value):
+            return
+        self.cb.sdc_bit = True
+        self.cb.events.append(
+            DetectionEvent(
+                detector=detector,
+                kind="range",
+                value=value,
+                block=ctx.block,
+                thread=ctx.thread,
+            )
+        )
+        # on-line learning: propose widened ranges assuming false positive
+        proposed = self.cb.updated_ranges.get(detector, cfg.ranges)
+        self.cb.updated_ranges[detector] = proposed.learn(value)
+
+    # -- HauberkCheckEqual(cb, det, iterator, expected) ---------------------
+    def lib_check_equal(
+        self, ctx: ExecContext, frame: dict, detector: int, actual: int, expected: int
+    ) -> None:
+        if actual == expected:
+            return
+        self.cb.sdc_bit = True
+        self.cb.events.append(
+            DetectionEvent(
+                detector=detector,
+                kind="trip",
+                value=float(actual),
+                expected=float(expected),
+                block=ctx.block,
+                thread=ctx.thread,
+            )
+        )
+
+    # -- checksum + duplication-mismatch validation at kernel exit -----------
+    def lib_checksum_validate(
+        self, ctx: ExecContext, frame: dict, checksum: int, nl_mismatch: int
+    ) -> None:
+        if checksum == 0 and nl_mismatch == 0:
+            return
+        self.cb.sdc_bit = True
+        kind = "checksum" if checksum != 0 else "nl_mismatch"
+        self.cb.events.append(
+            DetectionEvent(
+                detector=-1,
+                kind=kind,
+                value=float(checksum),
+                expected=float(nl_mismatch),
+                block=ctx.block,
+                thread=ctx.thread,
+            )
+        )

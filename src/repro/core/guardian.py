@@ -1,0 +1,123 @@
+"""The guardian process (Section VI(i)).
+
+A parent process supervising the Hauberk-instrumented program: it
+learns of child termination (the simulated SIGCHLD), restarts failed
+programs, preemptively kills kernels whose execution time exceeds both
+T x the previous execution time *and* a fixed floor (hang detection —
+realized here as the per-thread statement budget the watchdog
+enforces), and escalates repeated failures on the same kernel + input
+to a BIST diagnosis with device disable / migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.bist import run_bist
+from repro.core.checkpoint import CheckpointLibrary
+from repro.errors import RecoveryError, UnsupportedSoftwareError
+from repro.gpu.cluster import GPUNode
+from repro.gpu.device import Device
+
+
+@dataclass
+class GuardianReport:
+    """What the guardian observed and did during one supervision."""
+
+    attempts: int = 0
+    restarts: int = 0
+    hang_kills: int = 0
+    crash_restarts: int = 0
+    bist_runs: int = 0
+    migrations: int = 0
+    checkpoint_restores: int = 0
+    failures: List[str] = field(default_factory=list)
+
+
+class Guardian:
+    """Supervises program executions the way the paper's parent process does.
+
+    ``launch_fn(device, budget)`` runs the program once on ``device``
+    with the given per-thread statement budget and returns an object
+    with ``status`` (a :class:`~repro.core.program.RunStatus`),
+    ``failure_reason`` and ``launch`` (carrying ``max_thread_steps``).
+    """
+
+    def __init__(
+        self,
+        node: Optional[GPUNode] = None,
+        bist: Callable[[Device], bool] = run_bist,
+        hang_factor: float = 10.0,
+        min_hang_budget: int = 100_000,
+        max_attempts: int = 6,
+        checkpoints: Optional[CheckpointLibrary] = None,
+    ):
+        self.node = node if node is not None else GPUNode(num_devices=2)
+        self.bist = bist
+        self.hang_factor = hang_factor
+        self.min_hang_budget = min_hang_budget
+        self.max_attempts = max_attempts
+        self.checkpoints = checkpoints
+        #: Max per-thread steps of the last successful run (hang baseline).
+        self.prev_steps: Optional[int] = None
+
+    def next_budget(self) -> int:
+        """Watchdog budget: T x previous execution, floored (Section VI(i))."""
+        if self.prev_steps is None:
+            return max(self.min_hang_budget, 2_000_000)
+        return max(int(self.hang_factor * self.prev_steps), self.min_hang_budget)
+
+    def supervise(self, launch_fn, checkpoint_fn=None, restore_fn=None) -> tuple:
+        """Run to success with restarts/migration; returns (result, report).
+
+        Optional checkpointing (Section VI(i), CheCUDA-style):
+        ``checkpoint_fn()`` is called before every launch to snapshot
+        host state; ``restore_fn(checkpoint)`` is called before a
+        restart so recovery resumes from the last kernel boundary
+        instead of from program start.
+        """
+        from repro.core.program import RunStatus  # local import breaks a cycle
+
+        report = GuardianReport()
+        device = self.node.healthy_device()
+        same_device_failures = 0
+        latest_checkpoint = None
+        while report.attempts < self.max_attempts:
+            report.attempts += 1
+            if checkpoint_fn is not None:
+                latest_checkpoint = checkpoint_fn()
+                if self.checkpoints is not None and latest_checkpoint is not None:
+                    self.checkpoints.save(latest_checkpoint)
+            result = launch_fn(device, self.next_budget())
+            if result.status is RunStatus.OK:
+                if result.launch is not None:
+                    self.prev_steps = result.launch.max_thread_steps
+                return result, report
+            # failure path (simulated SIGCHLD)
+            report.failures.append(f"{result.status.value}: {result.failure_reason}")
+            if result.status is RunStatus.HANG:
+                report.hang_kills += 1
+            else:
+                report.crash_restarts += 1
+            same_device_failures += 1
+            if restore_fn is not None and latest_checkpoint is not None:
+                restore_fn(latest_checkpoint)
+                report.checkpoint_restores += 1
+            if same_device_failures >= 2:
+                # repeated failure of the same kernel with the same input:
+                # diagnose the device (Figure 11 left path)
+                report.bist_runs += 1
+                if not self.bist(device):
+                    device = self.node.migrate_from(device)
+                    report.migrations += 1
+                    same_device_failures = 0
+                else:
+                    raise UnsupportedSoftwareError(
+                        "program fails repeatedly on a healthy device "
+                        "(software bug or nondeterminism)"
+                    )
+            report.restarts += 1
+        raise RecoveryError(
+            f"guardian gave up after {report.attempts} attempts: {report.failures}"
+        )

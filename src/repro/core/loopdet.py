@@ -1,0 +1,231 @@
+"""HAUBERK-L: accumulation-based value range checking for loops.
+
+Implements the four-step derivation of Section V.B:
+
+(i)   select up to ``maxvar`` target virtual variables per top-level
+      loop — self-accumulators first (free), then the largest
+      cumulative backward dataflow dependency (Figure 9), dropping
+      candidates whose errors already flow forward into a selection;
+(ii)  accumulate the target's value every iteration into a fresh
+      accumulator declared before the loop (skipped for
+      self-accumulators — their value *is* the accumulation);
+(iii) count accumulations with an integer counter (one extra add), so
+      the loop body pays exactly two additions per protected variable;
+(iv)  after the loop, ``HauberkCheckRange(cb, det, acc/cnt)`` checks
+      the *averaged* accumulation against profiled ranges, and
+      ``HauberkCheckEqual(cb, det, cnt, trip)`` checks the statically
+      derived trip-count invariant (catching loop-control errors such
+      as a corrupted iterator).
+
+The same placement runs in ``profile`` mode, emitting
+``__hauberk_profile_range`` instead of the check — guaranteeing the
+profiler and FT builds observe identical detector indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.controlblock import DetectorConfig
+from repro.errors import KIRValidationError
+from repro.kir.analysis.dataflow import SiteInfo
+from repro.kir.analysis.dependency import select_loop_targets
+from repro.kir.analysis.loops import LoopInfo, derive_trip_count, find_loops
+from repro.kir.astnodes import (
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Const,
+    Decl,
+    For,
+    If,
+    Kernel,
+    Stmt,
+    Var,
+    While,
+)
+from repro.kir.types import DType
+
+CHECK_RANGE_FUNC = "__hauberk_check_range"
+CHECK_EQUAL_FUNC = "__hauberk_check_equal"
+PROFILE_RANGE_FUNC = "__hauberk_profile_range"
+
+
+@dataclass
+class LoopDetectorInfo:
+    """Everything placed for the loop detectors of one kernel."""
+
+    configs: List[DetectorConfig] = field(default_factory=list)
+    #: detector id -> protected SiteInfo
+    targets: Dict[int, SiteInfo] = field(default_factory=dict)
+
+
+class LoopTransformer:
+    """Applies HAUBERK-L (or its profiling twin) to a cloned kernel."""
+
+    def __init__(self, kernel: Kernel, maxvar: int = 1, mode: str = "ft",
+                 detector_base: int = 0):
+        if mode not in ("ft", "profile"):
+            raise KIRValidationError(f"unknown loop-detector mode {mode!r}")
+        if detector_base < 0:
+            raise KIRValidationError(f"invalid detector_base {detector_base}")
+        self.kernel = kernel
+        self.maxvar = maxvar
+        self.mode = mode
+        self.info = LoopDetectorInfo()
+        #: First detector index; multi-kernel programs give each kernel
+        #: a disjoint range so one control block serves them all.
+        self._next_det = detector_base
+        self._loops = find_loops(kernel)
+
+    def apply(self) -> LoopDetectorInfo:
+        self.kernel.body = self._process_block(self.kernel.body)
+        return self.info
+
+    # -- traversal -----------------------------------------------------------
+    def _process_block(self, stmts: List[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, (For, While)):
+                pre, post = self._protect_loop(stmt)
+                out.extend(pre)
+                out.append(stmt)
+                out.extend(post)
+            elif isinstance(stmt, If):
+                stmt.then = self._process_block(stmt.then)
+                stmt.els = self._process_block(stmt.els)
+                out.append(stmt)
+            else:
+                out.append(stmt)
+        return out
+
+    # -- per-loop instrumentation ----------------------------------------------
+    def _protect_loop(self, loop_stmt: Stmt) -> Tuple[List[Stmt], List[Stmt]]:
+        loop = self._loops[loop_stmt.loop_id]
+        selection = select_loop_targets(self.kernel, loop, maxvar=self.maxvar)
+        pre: List[Stmt] = []
+        post: List[Stmt] = []
+        for target in selection.selected:
+            det = self._next_det
+            self._next_det += 1
+            p, q = self._place_detector(det, loop, target)
+            pre.extend(p)
+            post.extend(q)
+            self.info.targets[det] = target
+        return pre, post
+
+    def _place_detector(
+        self, det: int, loop: LoopInfo, target: SiteInfo
+    ) -> Tuple[List[Stmt], List[Stmt]]:
+        acc_name = f"__acc{det}"
+        cnt_name = f"__cnt{det}"
+        trip_name = f"__trip{det}"
+        is_float = target.dtype is DType.FLOAT32
+        pre: List[Stmt] = []
+        post: List[Stmt] = []
+
+        inline: List[Stmt] = []
+        if target.self_accumulating:
+            value_var = target.name
+        else:
+            pre.append(
+                Decl(acc_name, target.dtype, Const(0.0) if is_float else Const(0))
+            )
+            inline.append(Assign(acc_name, BinOp("+", Var(acc_name), Var(target.name))))
+            value_var = acc_name
+        pre.append(Decl(cnt_name, DType.INT32, Const(0)))
+        inline.append(Assign(cnt_name, BinOp("+", Var(cnt_name), Const(1))))
+        if not _insert_after_stmt(loop.stmt, target.stmt, inline):
+            raise KIRValidationError(
+                f"could not locate protected definition {target.name!r} in loop"
+            )
+
+        # trip-count invariant (only when the counter counts iterations:
+        # the protected definition sits directly in the loop body)
+        direct = any(s is target.stmt for s in loop.body)
+        trip_expr = derive_trip_count(loop.stmt) if loop.is_for else None
+        has_trip = bool(direct and trip_expr is not None and self.mode == "ft")
+        if has_trip:
+            pre.append(Decl(trip_name, DType.INT32, trip_expr))
+            post.append(
+                CallStmt(
+                    CHECK_EQUAL_FUNC, [Const(det), Var(cnt_name), Var(trip_name)]
+                )
+            )
+
+        avg = BinOp(
+            "/",
+            Call("float", [Var(value_var)]),
+            Call("float", [Var(cnt_name)]),
+        )
+        func = CHECK_RANGE_FUNC if self.mode == "ft" else PROFILE_RANGE_FUNC
+        post.insert(
+            0,
+            If(
+                cond=BinOp("!=", Var(cnt_name), Const(0)),
+                then=[CallStmt(func, [Const(det), avg])],
+                els=[],
+            ),
+        )
+
+        self.info.configs.append(
+            DetectorConfig(
+                detector=det,
+                kernel=self.kernel.name,
+                variable=target.name,
+                loop_id=loop.loop_id,
+                self_accumulating=target.self_accumulating,
+                has_trip_check=has_trip,
+            )
+        )
+        return pre, post
+
+
+def _insert_after_stmt(root: Stmt, needle: Stmt, new_stmts: List[Stmt]) -> bool:
+    """Insert ``new_stmts`` right after ``needle`` anywhere under ``root``."""
+
+    def visit(block: List[Stmt]) -> bool:
+        for i, s in enumerate(block):
+            if s is needle:
+                block[i + 1 : i + 1] = new_stmts
+                return True
+            if isinstance(s, For):
+                if s.update is needle or s.init is needle:
+                    # loop-header definitions accumulate at body bottom/top
+                    if s.update is needle:
+                        s.body.extend(new_stmts)
+                    else:
+                        s.body[0:0] = new_stmts
+                    return True
+                if visit(s.body):
+                    return True
+            elif isinstance(s, While):
+                if visit(s.body):
+                    return True
+            elif isinstance(s, If):
+                if visit(s.then) or visit(s.els):
+                    return True
+        return False
+
+    if isinstance(root, For):
+        if root.init is needle:
+            root.body[0:0] = new_stmts
+            return True
+        if root.update is needle:
+            root.body.extend(new_stmts)
+            return True
+        return visit(root.body)
+    if isinstance(root, While):
+        return visit(root.body)
+    return False
+
+
+def apply_loop_detectors(
+    kernel: Kernel, maxvar: int = 1, mode: str = "ft", detector_base: int = 0
+) -> LoopDetectorInfo:
+    """Apply HAUBERK-L (mode='ft') or profiling twin (mode='profile')."""
+    return LoopTransformer(
+        kernel, maxvar=maxvar, mode=mode, detector_base=detector_base
+    ).apply()

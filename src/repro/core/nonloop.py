@@ -1,0 +1,292 @@
+"""HAUBERK-NL: duplication + shared-checksum protection of non-loop code.
+
+Implements the five-step derivation of Section V.A on the KIR AST:
+
+(i)   after each non-loop virtual-variable definition, XOR the defined
+      value into the kernel's single shared checksum variable;
+(ii)  duplicate the defining computation into a fresh register whose
+      live range is two statements;
+(iii) compare original and duplicate, setting a deferred mismatch flag;
+(iv)  XOR the original value out of the checksum after its last use —
+      or *before* a loop that updates it (the "uncovered window"; loop
+      updates are the loop detector's responsibility), or before the
+      variable's next redefinition;
+(v)   validate checksum == 0 and mismatch flag == 0 at kernel exit via
+      the FT library (deferred reporting into the control block).
+
+Parameters are checksummed without duplication: XOR-in at entry,
+XOR-out at exit (or before their first modification).
+
+The zero-sum invariant — every XOR-in is paired with exactly one
+XOR-out on every control path — is preserved by placing each pair in
+the same lexical block, and is property-tested in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import KIRValidationError
+from repro.kir.astnodes import (
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Const,
+    Decl,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Return,
+    Stmt,
+    Var,
+    While,
+)
+from repro.kir.analysis.dataflow import names_read_expr, names_read_stmt, names_written_stmt
+from repro.kir.types import DType
+
+CHECKSUM_VAR = "__chk"
+MISMATCH_VAR = "__nlflag"
+VALIDATE_FUNC = "__hauberk_checksum_validate"
+
+#: Cycle discount for NL-added statements: duplicates and checksum
+#: updates are data-independent of the original computation, so a real
+#: GPU dual-issues much of them into scheduler slack.  0.5 matches the
+#: regime where instruction duplication costs well under 2x (cf. SWIFT's
+#: 41% on a CPU with free ILP; GPUs retain *some* slack in the
+#: latency-bound non-loop sections Hauberk duplicates).
+NL_COST_SCALE = 0.5
+
+
+def _discounted(stmt: Stmt, scale: float = NL_COST_SCALE) -> Stmt:
+    stmt.cost_scale = scale
+    return stmt
+
+
+@dataclass
+class NonLoopInfo:
+    """What the NL pass protected (for reports and tests)."""
+
+    protected_definitions: int = 0
+    duplicated_definitions: int = 0
+    protected_params: List[str] = field(default_factory=list)
+    #: Number of statements prepended to the kernel body (checksum
+    #: declarations + parameter XOR-ins); FI hooks must land after these.
+    header_len: int = 0
+
+
+def _bits_of(name: str, dtype: DType) -> Expr:
+    """Expression reinterpreting a variable's value as int bits."""
+    if dtype is DType.FLOAT32:
+        return Call("__float_as_int", [Var(name)])
+    if dtype.is_pointer:
+        return Call("int", [Var(name)])
+    return Var(name)
+
+
+def _xor_stmt(name: str, dtype: DType, scale: float = NL_COST_SCALE) -> Assign:
+    """``__chk = __chk ^ bits(name)`` (ILP-discounted, see NL_COST_SCALE)."""
+    return _discounted(
+        Assign(CHECKSUM_VAR, BinOp("^", Var(CHECKSUM_VAR), _bits_of(name, dtype))),
+        scale,
+    )
+
+
+def _is_detector_name(name: str) -> bool:
+    return name.startswith("__")
+
+
+def _stmt_writes(stmt: Stmt, name: str) -> bool:
+    return name in names_written_stmt(stmt)
+
+
+def _stmt_reads(stmt: Stmt, name: str) -> bool:
+    return name in names_read_stmt(stmt)
+
+
+class NonLoopTransformer:
+    """Applies HAUBERK-NL to a (cloned) kernel in place.
+
+    ``checksum_only`` ablates step (ii)/(iii): variables are protected
+    by the shared checksum alone, with no duplicated computation —
+    cheaper, but blind to errors *during* the defining computation.
+    ``cost_scale`` is the ILP discount applied to added statements.
+    """
+
+    def __init__(self, kernel: Kernel, checksum_only: bool = False,
+                 cost_scale: float = NL_COST_SCALE):
+        self.kernel = kernel
+        self.checksum_only = checksum_only
+        self.cost_scale = cost_scale
+        self.info = NonLoopInfo()
+        self._dup_counter = 0
+
+    # -- public entry ------------------------------------------------------
+    def apply(self) -> NonLoopInfo:
+        for stmt, _ in _walk_all(self.kernel.body):
+            if isinstance(stmt, Return):
+                raise KIRValidationError(
+                    "HAUBERK-NL requires return-free kernels (normalize with "
+                    "guard conditionals first, as CETUS would)"
+                )
+        body = self._process_block(self.kernel.body)
+        header: List[Stmt] = [
+            Decl(CHECKSUM_VAR, DType.INT32, Const(0)),
+            Decl(MISMATCH_VAR, DType.INT32, Const(0)),
+        ]
+        header.extend(self._param_entry_updates(body))
+        footer: List[Stmt] = self._param_exit_updates(body)
+        footer.append(
+            CallStmt(VALIDATE_FUNC, [Var(CHECKSUM_VAR), Var(MISMATCH_VAR)])
+        )
+        self.info.header_len = len(header)
+        self.kernel.body = header + body + footer
+        return self.info
+
+    # -- parameters ---------------------------------------------------------
+    def _param_entry_updates(self, body: List[Stmt]) -> List[Stmt]:
+        out = []
+        for p in self.kernel.params:
+            out.append(_xor_stmt(p.name, p.dtype, self.cost_scale))
+            self.info.protected_params.append(p.name)
+        return out
+
+    def _param_exit_updates(self, body: List[Stmt]) -> List[Stmt]:
+        """XOR-out for each parameter.
+
+        Unmodified parameters balance at kernel exit.  A modified
+        parameter gets its XOR-out inserted (in place, into ``body``)
+        before the first top-level statement that writes it; the
+        modifying definition is then an ordinary virtual variable.
+        """
+        exit_updates: List[Stmt] = []
+        for p in self.kernel.params:
+            write_idx: Optional[int] = None
+            for idx, stmt in enumerate(body):
+                if _stmt_writes(stmt, p.name):
+                    write_idx = idx
+                    break
+            if write_idx is None:
+                exit_updates.append(_xor_stmt(p.name, p.dtype, self.cost_scale))
+            else:
+                body.insert(write_idx, _xor_stmt(p.name, p.dtype, self.cost_scale))
+        return exit_updates
+
+    # -- block processing ----------------------------------------------------
+    def _process_block(self, stmts: List[Stmt]) -> List[Stmt]:
+        """Rewrite one non-loop block; returns the new statement list."""
+        # For each definition index, the XOR-out must land before/after
+        # some later index; collect insertions keyed by position.
+        before: Dict[int, List[Stmt]] = {}
+        after: Dict[int, List[Stmt]] = {}
+        inline_after: Dict[int, List[Stmt]] = {}
+        inline_before: Dict[int, List[Stmt]] = {}
+
+        for idx, stmt in enumerate(stmts):
+            if isinstance(stmt, (Decl, Assign)):
+                name = stmt.name
+                if _is_detector_name(name):
+                    continue
+                dtype = stmt.var_dtype if isinstance(stmt, Decl) else stmt.target_dtype
+                rhs = stmt.init if isinstance(stmt, Decl) else stmt.value
+                self.info.protected_definitions += 1
+                protect_before, protect_after = self._protect_definition(
+                    name, dtype, rhs
+                )
+                inline_before.setdefault(idx, []).extend(protect_before)
+                inline_after.setdefault(idx, []).extend(protect_after)
+                pos, mode = self._xor_out_position(stmts, idx, name)
+                target = before if mode == "before" else after
+                target.setdefault(pos, []).append(_xor_stmt(name, dtype, self.cost_scale))
+
+        out: List[Stmt] = []
+        for idx, stmt in enumerate(stmts):
+            out.extend(before.get(idx, []))
+            out.extend(inline_before.get(idx, []))
+            if isinstance(stmt, If):
+                stmt.then = self._process_block(stmt.then)
+                stmt.els = self._process_block(stmt.els)
+            # loops are intentionally not entered: HAUBERK-L territory
+            out.append(stmt)
+            out.extend(inline_after.get(idx, []))
+            out.extend(after.get(idx, []))
+        # a definition whose XOR-out belongs past the last statement
+        out.extend(before.get(len(stmts), []))
+        out.extend(after.get(len(stmts), []))
+        return out
+
+    def _protect_definition(
+        self, name: str, dtype: DType, rhs: Expr
+    ) -> Tuple[List[Stmt], List[Stmt]]:
+        """Steps (i)-(iii) for one definition.
+
+        Returns (statements before the definition, statements after).
+        Self-referencing definitions (``x = x + 1``) compute the
+        duplicate *before* the original so both see the same inputs.
+        """
+        xor_in = _xor_stmt(name, dtype, self.cost_scale)
+        if isinstance(rhs, Const) or self.checksum_only:
+            # no computation to duplicate (or duplication ablated):
+            # checksum-only protection
+            return [], [xor_in]
+        import copy
+
+        dup_name = f"__dup{self._dup_counter}"
+        self._dup_counter += 1
+        self.info.duplicated_definitions += 1
+        dup_dtype = dtype if dtype.is_numeric or dtype.is_pointer else DType.FLOAT32
+        dup_decl = _discounted(
+            Decl(dup_name, dup_dtype, copy.deepcopy(rhs)), self.cost_scale
+        )
+        check = _discounted(
+            If(
+                cond=BinOp("!=", Var(name), Var(dup_name)),
+                then=[Assign(MISMATCH_VAR, Const(1))],
+                els=[],
+            ),
+            self.cost_scale,
+        )
+        if name in names_read_expr(rhs):
+            return [dup_decl], [xor_in, check]
+        return [], [xor_in, dup_decl, check]
+
+    @staticmethod
+    def _xor_out_position(
+        stmts: List[Stmt], def_idx: int, name: str
+    ) -> Tuple[int, str]:
+        """Step (iv): where this definition's XOR-out belongs.
+
+        Scanning forward from the definition: the first statement that
+        *writes* the name ends this virtual variable — XOR-out goes
+        before it (for a loop updating the variable this is the paper's
+        uncovered window; for a plain redefinition the old value is
+        still readable there).  Otherwise XOR-out lands after the last
+        statement that reads the name (loops that only read keep the
+        XOR-out after them), or immediately after an unused definition.
+        """
+        last_read = def_idx
+        for idx in range(def_idx + 1, len(stmts)):
+            stmt = stmts[idx]
+            if _stmt_writes(stmt, name):
+                return idx, "before"
+            if _stmt_reads(stmt, name):
+                last_read = idx
+        return last_read, "after"
+
+
+def _walk_all(body: List[Stmt]):
+    from repro.kir.astnodes import walk_stmts
+
+    return walk_stmts(body)
+
+
+def apply_nonloop_detectors(
+    kernel: Kernel, checksum_only: bool = False,
+    cost_scale: float = NL_COST_SCALE,
+) -> NonLoopInfo:
+    """Apply HAUBERK-NL to ``kernel`` in place (clone first!)."""
+    return NonLoopTransformer(
+        kernel, checksum_only=checksum_only, cost_scale=cost_scale
+    ).apply()

@@ -1,0 +1,141 @@
+"""Value-range profiling (Section V.B step iv and Figure 10).
+
+The profiling algorithm "is specifically designed to detect up to
+three correlation points": two symmetric threshold points +/-tau split
+samples into negative / near-zero / positive clusters; tau starts at
+1e-5 and is multiplied by 10 or 0.1 while the summed value-space size
+of the resulting ranges keeps shrinking.  A tight tau keeps the
+detector's admitted value space small, which is what makes range
+checking effective on FP data despite its enormous encodable space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import math
+
+import numpy as np
+
+from repro.core.ranges import RangeSet, ValueRange
+from repro.errors import ReproError
+from repro.kir.interp.evalcore import ExecContext, InstrumentationLibrary
+
+
+def _ranges_for_threshold(samples: np.ndarray, tau: float) -> List[ValueRange]:
+    """Partition samples at +/-tau and box each nonempty cluster."""
+    ranges: List[ValueRange] = []
+    neg = samples[samples <= -tau]
+    mid = samples[(samples > -tau) & (samples < tau)]
+    pos = samples[samples >= tau]
+    for cluster in (neg, mid, pos):
+        if cluster.size:
+            ranges.append(ValueRange(float(cluster.min()), float(cluster.max())))
+    return ranges
+
+
+def learn_fp_ranges(samples: Sequence[float], tau0: float = 1e-5) -> RangeSet:
+    """Three-correlation-point range learning for FP samples."""
+    arr = np.asarray([s for s in samples if s == s and not math.isinf(s)], dtype=float)
+    if arr.size == 0:
+        return RangeSet()
+    best_tau = tau0
+    best_ranges = _ranges_for_threshold(arr, best_tau)
+    best_space = sum(r.log_space_size() for r in best_ranges)
+    improved = True
+    while improved:
+        improved = False
+        for factor in (10.0, 0.1):
+            tau = best_tau * factor
+            if not 1e-30 < tau < 1e30:
+                continue
+            ranges = _ranges_for_threshold(arr, tau)
+            space = sum(r.log_space_size() for r in ranges)
+            if space < best_space - 1e-12:
+                best_tau, best_ranges, best_space = tau, ranges, space
+                improved = True
+                break
+    return RangeSet(ranges=best_ranges)
+
+
+def learn_int_ranges(samples: Sequence[int]) -> RangeSet:
+    """Integer profiling: negative/zero/positive clusters, boxed.
+
+    Figure 10(a) shows integer values also cluster by decade with a
+    sign split, so the same three-way structure applies with a fixed
+    threshold of 1 (integers have no subnormal tail to search).
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        return RangeSet()
+    return RangeSet(ranges=_ranges_for_threshold(arr, 1.0))
+
+
+@dataclass
+class DetectorProfile:
+    """Training samples accumulated for one loop detector."""
+
+    detector: int
+    is_float: bool = True
+    samples: List[float] = field(default_factory=list)
+    exec_count: int = 0
+
+    def finalize(self) -> RangeSet:
+        if self.is_float:
+            return learn_fp_ranges(self.samples)
+        return learn_int_ranges([int(s) for s in self.samples])
+
+
+class RangeProfiler(InstrumentationLibrary):
+    """The HAUBERK Profiler library (Figure 7's second build).
+
+    Bound to a kernel instrumented in ``profiler`` mode: each
+    ``__hauberk_profile_range(det, value)`` call records one averaged
+    accumulator observation; ``__hauberk_profile_count(site)`` tallies
+    per-site execution counts (Table I).  After the training runs,
+    :meth:`finalize` produces the per-detector range sets the FT build
+    loads into its control block.
+    """
+
+    def __init__(self) -> None:
+        self.profiles: Dict[int, DetectorProfile] = {}
+        self.site_counts: Dict[int, int] = {}
+
+    # -- instrumentation entry points ------------------------------------
+    def lib_profile_range(
+        self, ctx: ExecContext, frame: dict, detector: int, value: float
+    ) -> None:
+        prof = self.profiles.get(detector)
+        if prof is None:
+            prof = DetectorProfile(detector=detector)
+            self.profiles[detector] = prof
+        if isinstance(value, int):
+            prof.is_float = False
+        prof.samples.append(float(value))
+        prof.exec_count += 1
+
+    def lib_profile_count(self, ctx: ExecContext, frame: dict, site: int) -> None:
+        self.site_counts[site] = self.site_counts.get(site, 0) + 1
+
+    # -- results ------------------------------------------------------------
+    def finalize(self) -> Dict[int, RangeSet]:
+        """Learned range sets per detector index."""
+        return {d: p.finalize() for d, p in self.profiles.items()}
+
+    def merge_from(self, other: "RangeProfiler") -> None:
+        """Accumulate another training run's samples into this profiler."""
+        for d, p in other.profiles.items():
+            mine = self.profiles.get(d)
+            if mine is None:
+                self.profiles[d] = DetectorProfile(
+                    detector=d, is_float=p.is_float, samples=list(p.samples),
+                    exec_count=p.exec_count,
+                )
+            else:
+                if mine.is_float != p.is_float:
+                    raise ReproError(f"detector {d} type changed between runs")
+                mine.samples.extend(p.samples)
+                mine.exec_count += p.exec_count
+        for s, c in other.site_counts.items():
+            self.site_counts[s] = self.site_counts.get(s, 0) + c

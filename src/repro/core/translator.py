@@ -1,0 +1,166 @@
+"""The HAUBERK source-to-source translator (Figure 7, Table I).
+
+One entry point, four build products off a single original kernel:
+
+========== ===============================================================
+mode        contents
+========== ===============================================================
+original    validated pass-through clone (baseline performance)
+profiler    loop accumulators emitting ``__hauberk_profile_range`` —
+            learns value ranges, derives golden outputs
+ft          HAUBERK-L + HAUBERK-NL detectors reporting into the control
+            block (the deployed fault-tolerant binary)
+fi          per-definition ``__hauberk_fi`` hooks (baseline sensitivity)
+fift        ft detectors *plus* fi hooks — coverage evaluation build
+========== ===============================================================
+
+Site-id stability: FI hook arguments always carry the *original*
+kernel's site numbering, so one fault plan drives both the ``fi`` and
+``fift`` builds.  For ``fift`` the detectors are placed first and the
+hooks are then attached only to statements that carry an original site
+id (detector-added statements have none), landing each hook directly
+after its definition — i.e. the fault hits the variable *before* the
+detector's checksum/accumulation reads it, as a real in-computation
+fault would.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.controlblock import DetectorConfig
+from repro.core.loopdet import LoopDetectorInfo, apply_loop_detectors
+from repro.core.nonloop import NonLoopInfo, apply_nonloop_detectors
+from repro.errors import KIRValidationError
+from repro.kir.astnodes import (
+    Assign,
+    CallStmt,
+    Decl,
+    For,
+    If,
+    Kernel,
+    Stmt,
+    While,
+)
+from repro.kir.validate import validate_kernel
+from repro.swifi.injector import FI_FUNC, _hook
+
+MODES = ("original", "profiler", "ft", "fi", "fift")
+
+
+@dataclass
+class TranslatorOptions:
+    """Knobs of the derivation algorithms."""
+
+    #: Max protected variables per loop (the paper evaluates Maxvar=1).
+    maxvar: int = 1
+    #: Enable HAUBERK-NL (off for the HAUBERK-L-only Figure 13 bar).
+    enable_nonloop: bool = True
+    #: Enable HAUBERK-L (off for the HAUBERK-NL-only Figure 13 bar).
+    enable_loop: bool = True
+    #: Ablation: protect non-loop code with the checksum only, without
+    #: duplicated computations (cheaper, weaker).
+    nl_checksum_only: bool = False
+    #: First loop-detector index assigned by this translator; kernels of
+    #: a multi-kernel program get disjoint ranges so one control block
+    #: serves the whole program.
+    detector_base: int = 0
+
+
+@dataclass
+class InstrumentedKernel:
+    """One build product plus the metadata the host side needs."""
+
+    kernel: Kernel
+    mode: str
+    options: TranslatorOptions
+    detector_configs: List[DetectorConfig] = field(default_factory=list)
+    nonloop_info: Optional[NonLoopInfo] = None
+    loop_info: Optional[LoopDetectorInfo] = None
+    #: Wall-clock seconds spent instrumenting (Section IX.D).
+    instrumentation_time: float = 0.0
+
+
+def _attach_fi_hooks(body: List[Stmt]) -> List[Stmt]:
+    """FI hooks after every statement still carrying an original site id."""
+    out: List[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, For):
+            new_body = _attach_fi_hooks(stmt.body)
+            if stmt.init is not None and stmt.init.site >= 0:
+                new_body.insert(0, _hook(stmt.init.site, stmt.init.name))
+            if stmt.update is not None and stmt.update.site >= 0:
+                new_body.append(_hook(stmt.update.site, stmt.update.name))
+            stmt.body = new_body
+            out.append(stmt)
+        elif isinstance(stmt, While):
+            stmt.body = _attach_fi_hooks(stmt.body)
+            out.append(stmt)
+        elif isinstance(stmt, If):
+            stmt.then = _attach_fi_hooks(stmt.then)
+            stmt.els = _attach_fi_hooks(stmt.els)
+            out.append(stmt)
+        elif isinstance(stmt, (Decl, Assign)) and stmt.site >= 0:
+            out.append(stmt)
+            out.append(_hook(stmt.site, stmt.name))
+        else:
+            out.append(stmt)
+    return out
+
+
+class HauberkTranslator:
+    """Builds the Table I instrumentation matrix for a kernel."""
+
+    def __init__(self, options: Optional[TranslatorOptions] = None):
+        self.options = options if options is not None else TranslatorOptions()
+
+    def build(self, kernel: Kernel, mode: str) -> InstrumentedKernel:
+        """Produce one instrumented clone of ``kernel``."""
+        if mode not in MODES:
+            raise KIRValidationError(f"unknown build mode {mode!r}; pick from {MODES}")
+        if not kernel.validated:
+            raise KIRValidationError("validate the kernel before translation")
+        start = time.perf_counter()
+        clone = kernel.clone()
+        result = InstrumentedKernel(kernel=clone, mode=mode, options=self.options)
+
+        if mode == "profiler":
+            info = apply_loop_detectors(
+                clone, maxvar=self.options.maxvar, mode="profile",
+                detector_base=self.options.detector_base,
+            )
+            result.loop_info = info
+            result.detector_configs = info.configs
+        elif mode in ("ft", "fift"):
+            if self.options.enable_loop:
+                info = apply_loop_detectors(
+                    clone, maxvar=self.options.maxvar, mode="ft",
+                    detector_base=self.options.detector_base,
+                )
+                result.loop_info = info
+                result.detector_configs = info.configs
+            if self.options.enable_nonloop:
+                result.nonloop_info = apply_nonloop_detectors(
+                    clone, checksum_only=self.options.nl_checksum_only
+                )
+            if mode == "fift":
+                clone.body = _attach_fi_hooks(clone.body)
+                # param hooks go after the NL header (entry checksum
+                # XOR-ins) so a parameter fault lands inside the
+                # checksum's protection window
+                at = result.nonloop_info.header_len if result.nonloop_info else 0
+                clone.body[at:at] = [_hook(p.site, p.name) for p in clone.params]
+        elif mode == "fi":
+            clone.body = _attach_fi_hooks(clone.body)
+            clone.body = [_hook(p.site, p.name) for p in clone.params] + clone.body
+        # mode == "original": pass through
+
+        validate_kernel(clone)
+        result.instrumentation_time = time.perf_counter() - start
+        return result
+
+    def build_all(self, kernel: Kernel) -> Dict[str, InstrumentedKernel]:
+        """All five Figure 7 build products."""
+        return {mode: self.build(kernel, mode) for mode in MODES}

@@ -1,0 +1,27 @@
+"""CPU comparison substrate for Figure 1's bottom rows.
+
+A small register machine with the two protections the paper says GPUs
+lack (Section II.A cause (a)): page-granularity memory access checking
+and instruction decoding that faults on corrupted code.  Programs are
+written in a tiny assembly (matrix multiply through a row-pointer
+table, integer bubble sort), and the injector flips bits in the
+*stack*, *data*, and *code* segments — the paper's CPU fault classes.
+The expected outcome shape: most faults crash (segfault / illegal
+instruction) or are masked; SDCs stay rare (<2.3% per [14]).
+"""
+
+from repro.cpusim.machine import CPUMachine, PagedMemory, Program, assemble
+from repro.cpusim.programs import cpu_matmul_program, cpu_sort_program, cpu_checksum_program
+from repro.cpusim.injector import CPUFaultCampaign, CPUTrialOutcome
+
+__all__ = [
+    "CPUMachine",
+    "PagedMemory",
+    "Program",
+    "assemble",
+    "cpu_matmul_program",
+    "cpu_sort_program",
+    "cpu_checksum_program",
+    "CPUFaultCampaign",
+    "CPUTrialOutcome",
+]

@@ -1,0 +1,128 @@
+"""Fault injection campaigns on the CPU machine (Figure 1 bottom rows).
+
+Faults are single/multi-bit flips in one word of the *stack*, *data*,
+or *code* segment at a random dynamic step, one per run — mirroring
+how the referenced CPU studies ([13], [14]) classify injection
+locations.  Outcomes use the same taxonomy as the GPU campaigns minus
+detection (no detectors on the plain CPU programs): failure (segfault
+/ illegal instruction / div-by-zero / hang), masked, or SDC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bits import random_mask
+from repro.cpusim.machine import (
+    CODE_BASE,
+    CPUFault,
+    CPUHang,
+    CPUMachine,
+    DATA_BASE,
+    Program,
+    STACK_TOP,
+)
+from repro.errors import CPUSimError, InjectionError
+
+SEGMENTS = ("stack", "data", "code")
+
+
+@dataclass
+class CPUTrialOutcome:
+    segment: str
+    outcome: str  # "failure" | "masked" | "sdc"
+    reason: str = ""
+
+
+@dataclass
+class CPUCampaignResult:
+    trials: List[CPUTrialOutcome] = field(default_factory=list)
+
+    def ratios(self, segment: str) -> Dict[str, float]:
+        seg = [t for t in self.trials if t.segment == segment]
+        if not seg:
+            return {"failure": 0.0, "masked": 0.0, "sdc": 0.0}
+        n = len(seg)
+        return {
+            key: sum(t.outcome == key for t in seg) / n
+            for key in ("failure", "masked", "sdc")
+        }
+
+
+class CPUFaultCampaign:
+    """Runs segment-targeted fault trials on one CPU program."""
+
+    def __init__(
+        self,
+        program_builder: Callable[[], Tuple[Program, np.ndarray]],
+        rel_tolerance: float = 0.01,
+        budget: int = 300_000,
+    ):
+        self.program_builder = program_builder
+        self.rel_tolerance = rel_tolerance
+        self.budget = budget
+        program, golden = program_builder()
+        self.golden = golden
+        # fault-free dry run: learn baseline step count and live stack span
+        machine = CPUMachine(program)
+        machine.run(budget=self.budget)
+        if not self._output_ok(np.array(machine.read_output())):
+            raise CPUSimError(f"{program.name}: fault-free run fails its golden")
+        self.baseline_steps = machine.steps
+        self.code_len = len(program.code)
+        self.data_len = len(program.data)
+
+    def _output_ok(self, output: np.ndarray) -> bool:
+        if output.shape != self.golden.shape or not np.isfinite(output).all():
+            return False
+        tol = self.rel_tolerance * np.abs(self.golden) + 1e-9
+        return bool((np.abs(output - self.golden) <= tol).all())
+
+    def _segment_address(self, segment: str, rng: np.random.Generator) -> int:
+        if segment == "code":
+            return CODE_BASE + int(rng.integers(0, self.code_len))
+        if segment == "data":
+            return DATA_BASE + int(rng.integers(0, self.data_len))
+        if segment == "stack":
+            # the active frame region just below STACK_TOP (return
+            # addresses and spilled registers of the CALLed cores)
+            return STACK_TOP - 1 - int(rng.integers(0, 6))
+        raise InjectionError(f"unknown segment {segment!r}")
+
+    def run_trial(
+        self, segment: str, rng: np.random.Generator, n_bits: int = 1
+    ) -> CPUTrialOutcome:
+        program, _golden = self.program_builder()
+        machine = CPUMachine(program)
+        fault = CPUFault(
+            step=int(rng.integers(1, max(self.baseline_steps, 2))),
+            address=self._segment_address(segment, rng),
+            mask=random_mask(rng, n_bits),
+        )
+        try:
+            machine.run(budget=self.budget, fault=fault)
+        except CPUHang:
+            return CPUTrialOutcome(segment=segment, outcome="failure", reason="hang")
+        except CPUSimError as exc:
+            return CPUTrialOutcome(segment=segment, outcome="failure", reason=str(exc))
+        output = np.array(machine.read_output())
+        if self._output_ok(output):
+            return CPUTrialOutcome(segment=segment, outcome="masked")
+        return CPUTrialOutcome(segment=segment, outcome="sdc")
+
+    def run(
+        self,
+        trials_per_segment: int = 100,
+        seed: int = 0,
+        n_bits: int = 1,
+        segments: Tuple[str, ...] = SEGMENTS,
+    ) -> CPUCampaignResult:
+        rng = np.random.default_rng(seed)
+        result = CPUCampaignResult()
+        for segment in segments:
+            for _ in range(trials_per_segment):
+                result.trials.append(self.run_trial(segment, rng, n_bits))
+        return result

@@ -1,0 +1,345 @@
+"""A small paged-memory register machine (the CPU of Figure 1).
+
+Architecture:
+
+* 16 general registers holding 32-bit values (ints; floats live in
+  memory as binary32 patterns and in registers as Python floats after
+  an ``FLD``);
+* word-addressed virtual memory with 256-word pages; only pages inside
+  the code / data / stack segments are mapped, and the code segment is
+  execute/read-only — so corrupted pointers and wild jumps fault
+  instead of silently corrupting state (the page-granularity checking
+  GPUs lack, Section II.A);
+* 32-bit instruction words: ``op(8) | rd(4) | ra(4) | imm16`` — a
+  corrupted code word decodes to an illegal instruction or a wild
+  operand, again usually a crash.
+
+Instructions: LOADI MOV LD ST FLD FST ADD SUB MUL DIV AND OR XOR SHL
+SHR FADD FSUB FMUL FDIV FSQRT JMP JZ JNZ BLT BGE PUSH POP CALL RET HALT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.bits import bits_to_float, bits_to_int, float_to_bits, int_to_bits, wrap_i32
+from repro.errors import (
+    CPUIllegalInstruction,
+    CPUSegmentationFault,
+    CPUSimError,
+)
+
+PAGE_WORDS = 256
+
+CODE_BASE = 0x1000
+DATA_BASE = 0x4000
+STACK_TOP = 0xF000  # stack grows down from here
+
+_OPCODES = {
+    "LOADI": 0x01,
+    "MOV": 0x02,
+    "LD": 0x03,
+    "ST": 0x04,
+    "FLD": 0x05,
+    "FST": 0x06,
+    "ADD": 0x10,
+    "SUB": 0x11,
+    "MUL": 0x12,
+    "DIV": 0x13,
+    "AND": 0x14,
+    "OR": 0x15,
+    "XOR": 0x16,
+    "SHL": 0x17,
+    "SHR": 0x18,
+    "ADDI": 0x19,
+    "FADD": 0x20,
+    "FSUB": 0x21,
+    "FMUL": 0x22,
+    "FDIV": 0x23,
+    "FSQRT": 0x24,
+    "JMP": 0x30,
+    "JZ": 0x31,
+    "JNZ": 0x32,
+    "BLT": 0x33,
+    "BGE": 0x34,
+    "PUSH": 0x40,
+    "POP": 0x41,
+    "CALL": 0x42,
+    "RET": 0x43,
+    "HALT": 0xFF,
+}
+_OPNAMES = {v: k for k, v in _OPCODES.items()}
+
+
+def encode(op: str, rd: int = 0, ra: int = 0, imm: int = 0) -> int:
+    """Pack one instruction into a 32-bit word."""
+    if op not in _OPCODES:
+        raise CPUSimError(f"unknown mnemonic {op!r}")
+    if not 0 <= rd < 16 or not 0 <= ra < 16:
+        raise CPUSimError(f"register out of range in {op} rd={rd} ra={ra}")
+    imm16 = imm & 0xFFFF
+    return (_OPCODES[op] << 24) | (rd << 20) | (ra << 16) | imm16
+
+
+def decode(word: int) -> Tuple[str, int, int, int]:
+    """Unpack an instruction word; unknown opcodes raise."""
+    opcode = (word >> 24) & 0xFF
+    name = _OPNAMES.get(opcode)
+    if name is None:
+        raise CPUIllegalInstruction(f"illegal opcode 0x{opcode:02x}")
+    rd = (word >> 20) & 0xF
+    ra = (word >> 16) & 0xF
+    imm = word & 0xFFFF
+    if imm >= 0x8000:
+        imm -= 0x10000
+    return name, rd, ra, imm
+
+
+@dataclass
+class Program:
+    """Assembled code plus an initial data image and output location."""
+
+    code: List[int]
+    data: List[int]
+    #: (offset, count) within the data segment holding the output.
+    output_range: Tuple[int, int]
+    #: Data-segment offsets holding floats (for typed readout/inject).
+    float_offsets: frozenset = frozenset()
+    name: str = "program"
+
+
+Instruction = Tuple  # ("ADD", rd, ra, rb_imm) or ("label",)
+
+
+def assemble(listing: List[Union[Tuple, str]]) -> List[int]:
+    """Two-pass assembler: strings are labels, tuples are instructions.
+
+    Branch/jump/call targets may be label strings; they resolve to
+    absolute code addresses.
+    """
+    # pass 1: label addresses
+    labels: Dict[str, int] = {}
+    pc = CODE_BASE
+    for item in listing:
+        if isinstance(item, str):
+            if item in labels:
+                raise CPUSimError(f"duplicate label {item!r}")
+            labels[item] = pc
+        else:
+            pc += 1
+    # pass 2: encode
+    words: List[int] = []
+    for item in listing:
+        if isinstance(item, str):
+            continue
+        op = item[0]
+        args = list(item[1:])
+        resolved = [labels[a] if isinstance(a, str) else a for a in args]
+        padded = resolved + [0] * (3 - len(resolved))
+        words.append(encode(op, *padded[:3]))
+    return words
+
+
+class PagedMemory:
+    """Word-addressed memory with page mapping and permissions."""
+
+    def __init__(self) -> None:
+        self.pages: Dict[int, List[int]] = {}
+        self.exec_pages: set = set()
+        self.readonly_pages: set = set()
+
+    def map_range(self, base: int, nwords: int, executable: bool = False,
+                  readonly: bool = False) -> None:
+        first = base // PAGE_WORDS
+        last = (base + max(nwords, 1) - 1) // PAGE_WORDS
+        for p in range(first, last + 1):
+            self.pages.setdefault(p, [0] * PAGE_WORDS)
+            if executable:
+                self.exec_pages.add(p)
+            if readonly:
+                self.readonly_pages.add(p)
+
+    def _page(self, addr: int, access: str) -> List[int]:
+        if addr < 0:
+            raise CPUSegmentationFault(addr, access)
+        p = addr // PAGE_WORDS
+        page = self.pages.get(p)
+        if page is None:
+            raise CPUSegmentationFault(addr, access)
+        if access == "exec" and p not in self.exec_pages:
+            raise CPUSegmentationFault(addr, access)
+        if access == "write" and (p in self.readonly_pages or p in self.exec_pages):
+            raise CPUSegmentationFault(addr, access)
+        return page
+
+    def load(self, addr: int, access: str = "read") -> int:
+        return self._page(addr, access)[addr % PAGE_WORDS]
+
+    def store(self, addr: int, value: int) -> None:
+        self._page(addr, "write")[addr % PAGE_WORDS] = value & 0xFFFFFFFF
+
+    def poke(self, addr: int, value: int) -> None:
+        """Store ignoring permissions (loader / fault injector)."""
+        if addr < 0 or addr // PAGE_WORDS not in self.pages:
+            raise CPUSegmentationFault(addr, "poke")
+        self.pages[addr // PAGE_WORDS][addr % PAGE_WORDS] = value & 0xFFFFFFFF
+
+    def peek(self, addr: int) -> int:
+        if addr < 0 or addr // PAGE_WORDS not in self.pages:
+            raise CPUSegmentationFault(addr, "peek")
+        return self.pages[addr // PAGE_WORDS][addr % PAGE_WORDS]
+
+
+@dataclass
+class CPUFault:
+    """One memory bit-flip applied at a given dynamic step."""
+
+    step: int
+    address: int
+    mask: int
+
+
+class CPUHang(CPUSimError):
+    """Step budget exhausted (the CPU analogue of a kernel hang)."""
+
+
+class CPUMachine:
+    """Loads a :class:`Program` and executes it to HALT."""
+
+    def __init__(self, program: Program, stack_words: int = 512):
+        self.program = program
+        self.memory = PagedMemory()
+        self.memory.map_range(CODE_BASE, max(len(program.code), 1), executable=True)
+        self.memory.map_range(DATA_BASE, max(len(program.data), 1))
+        self.memory.map_range(STACK_TOP - stack_words, stack_words)
+        for i, w in enumerate(program.code):
+            self.memory.pages[(CODE_BASE + i) // PAGE_WORDS][
+                (CODE_BASE + i) % PAGE_WORDS
+            ] = w & 0xFFFFFFFF
+        for i, w in enumerate(program.data):
+            self.memory.poke(DATA_BASE + i, w)
+        self.regs: List[Union[int, float]] = [0] * 16
+        self.pc = CODE_BASE
+        self.sp = STACK_TOP
+        self.steps = 0
+
+    # -- execution -------------------------------------------------------
+    def run(
+        self, budget: int = 200_000, fault: Optional[CPUFault] = None
+    ) -> None:
+        """Execute until HALT; raises on crash, CPUHang on budget."""
+        while True:
+            if fault is not None and self.steps == fault.step:
+                self.memory.poke(fault.address, self.memory.peek(fault.address) ^ fault.mask)
+                fault = None
+            self.steps += 1
+            if self.steps > budget:
+                raise CPUHang(f"exceeded {budget} steps")
+            word = self.memory.load(self.pc, access="exec")
+            op, rd, ra, imm = decode(word)
+            self.pc += 1
+            if op == "HALT":
+                return
+            self._execute(op, rd, ra, imm)
+
+    def _int(self, reg: int) -> int:
+        v = self.regs[reg]
+        return wrap_i32(int(v)) if not isinstance(v, float) else wrap_i32(int(v))
+
+    def _execute(self, op: str, rd: int, ra: int, imm: int) -> None:
+        regs = self.regs
+        if op == "LOADI":
+            regs[rd] = imm
+        elif op == "MOV":
+            regs[rd] = regs[ra]
+        elif op == "ADDI":
+            regs[rd] = wrap_i32(self._int(ra) + imm)
+        elif op == "LD":
+            regs[rd] = bits_to_int(self.memory.load(self._int(ra) + imm))
+        elif op == "ST":
+            self.memory.store(self._int(ra) + imm, int_to_bits(self._int(rd)))
+        elif op == "FLD":
+            regs[rd] = bits_to_float(self.memory.load(self._int(ra) + imm))
+        elif op == "FST":
+            self.memory.store(self._int(ra) + imm, float_to_bits(float(regs[rd])))
+        elif op == "ADD":
+            regs[rd] = wrap_i32(self._int(rd) + self._int(ra))
+        elif op == "SUB":
+            regs[rd] = wrap_i32(self._int(rd) - self._int(ra))
+        elif op == "MUL":
+            regs[rd] = wrap_i32(self._int(rd) * self._int(ra))
+        elif op == "DIV":
+            b = self._int(ra)
+            if b == 0:
+                raise CPUIllegalInstruction("integer division by zero (SIGFPE)")
+            a = self._int(rd)
+            q = abs(a) // abs(b)
+            regs[rd] = wrap_i32(-q if (a < 0) != (b < 0) else q)
+        elif op == "AND":
+            regs[rd] = wrap_i32(self._int(rd) & self._int(ra))
+        elif op == "OR":
+            regs[rd] = wrap_i32(self._int(rd) | self._int(ra))
+        elif op == "XOR":
+            regs[rd] = wrap_i32(self._int(rd) ^ self._int(ra))
+        elif op == "SHL":
+            regs[rd] = wrap_i32(self._int(rd) << (self._int(ra) & 31))
+        elif op == "SHR":
+            regs[rd] = wrap_i32(self._int(rd) >> (self._int(ra) & 31))
+        elif op == "FADD":
+            regs[rd] = float(regs[rd]) + float(regs[ra])
+        elif op == "FSUB":
+            regs[rd] = float(regs[rd]) - float(regs[ra])
+        elif op == "FMUL":
+            regs[rd] = float(regs[rd]) * float(regs[ra])
+        elif op == "FDIV":
+            b = float(regs[ra])
+            if b == 0.0:
+                regs[rd] = float("nan") if float(regs[rd]) == 0.0 else float("inf")
+            else:
+                regs[rd] = float(regs[rd]) / b
+        elif op == "FSQRT":
+            v = float(regs[ra])
+            regs[rd] = float("nan") if v < 0 else v ** 0.5
+        elif op == "JMP":
+            self.pc = imm & 0xFFFF
+        elif op == "JZ":
+            if self._int(ra) == 0:
+                self.pc = imm & 0xFFFF
+        elif op == "JNZ":
+            if self._int(ra) != 0:
+                self.pc = imm & 0xFFFF
+        elif op == "BLT":
+            if self._int(rd) < self._int(ra):
+                self.pc = imm & 0xFFFF
+        elif op == "BGE":
+            if self._int(rd) >= self._int(ra):
+                self.pc = imm & 0xFFFF
+        elif op == "PUSH":
+            self.sp -= 1
+            self.memory.store(self.sp, int_to_bits(self._int(ra)))
+        elif op == "POP":
+            regs[rd] = bits_to_int(self.memory.load(self.sp))
+            self.sp += 1
+        elif op == "CALL":
+            self.sp -= 1
+            self.memory.store(self.sp, self.pc)
+            self.pc = imm & 0xFFFF
+        elif op == "RET":
+            self.pc = self.memory.load(self.sp)
+            self.sp += 1
+        else:  # pragma: no cover - decode() guards this
+            raise CPUIllegalInstruction(f"unimplemented {op}")
+
+    # -- results ------------------------------------------------------------
+    def read_output(self) -> List[float]:
+        """Typed view of the program's output region."""
+        off, count = self.program.output_range
+        out: List[float] = []
+        for i in range(off, off + count):
+            bits = self.memory.peek(DATA_BASE + i)
+            if i in self.program.float_offsets:
+                out.append(bits_to_float(bits))
+            else:
+                out.append(float(bits_to_int(bits)))
+        return out

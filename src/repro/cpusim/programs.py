@@ -1,0 +1,263 @@
+"""Benchmark programs for the CPU machine (Figure 1 bottom rows).
+
+Three small programs in the machine's assembly, laid out the way real
+C processes look in memory:
+
+* computation cores are CALLed subroutines with saved registers on the
+  stack — so stack faults hit return addresses and spilled state;
+* arrays are reached through pointer tables and descriptors — so data
+  faults frequently hit control data the page checks catch;
+* the data segment carries a realistic *heap tail*: an allocator
+  free list (next-pointers + sizes) and slack blocks that the program
+  no longer reads — dead state whose corruption is masked, the main
+  reason CPU SDC ratios are so low in the studies the paper cites
+  ([13], [14]: < 2.3%).
+
+Programs: 4x4 FP matrix multiply (row-pointer tables, dot-product
+subroutine), integer bubble sort, polynomial rolling checksum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.bits import float_to_bits
+from repro.cpusim.machine import DATA_BASE, Program, assemble
+
+#: Words of allocator free-list / slack appended to every data segment.
+HEAP_TAIL_WORDS = 96
+_HEAP_BLOCK = 8
+
+
+def _heap_tail(rng: np.random.Generator, base_offset: int) -> List[int]:
+    """A free-list of 8-word blocks: [next_ptr, size, garbage x6]."""
+    words: List[int] = []
+    n_blocks = HEAP_TAIL_WORDS // _HEAP_BLOCK
+    for b in range(n_blocks):
+        next_off = base_offset + (b + 1) * _HEAP_BLOCK
+        next_ptr = DATA_BASE + next_off if b + 1 < n_blocks else 0
+        words.append(next_ptr)
+        words.append(_HEAP_BLOCK)
+        words.extend(int(v) for v in rng.integers(0, 2**31, _HEAP_BLOCK - 2))
+    return words
+
+
+def _cold_tail(prefix: str) -> List:
+    """Never-executed utility/error-handling code (cold paths).
+
+    Real binaries are dominated by code that a given run never reaches
+    (error handling, unused library paths); faults there are masked.
+    Appending a cold tail keeps the code-segment fault profile honest.
+    """
+    out: List = []
+    for i in range(6):
+        out.append(f"{prefix}_cold{i}")
+        out.extend(
+            [
+                ("PUSH", 0, 1, 0),
+                ("LOADI", 5, 0, 0x7F0 + i),
+                ("LD", 6, 5, 0),
+                ("ADDI", 6, 6, 1),
+                ("ST", 6, 5, 0),
+                ("MOV", 7, 6, 0),
+                ("XOR", 7, 5, 0),
+                ("JZ", 0, 7, f"{prefix}_cold{i}"),
+                ("POP", 1, 0, 0),
+                ("RET",),
+            ]
+        )
+    return out
+
+
+def cpu_matmul_program(seed: int = 0, n: int = 4) -> Tuple[Program, np.ndarray]:
+    """4x4 FP matmul via row-pointer tables and a dot-product call."""
+    rng = np.random.default_rng(seed + 100)
+    a = rng.uniform(-2.0, 2.0, (n, n)).astype(np.float32)
+    b = rng.uniform(-2.0, 2.0, (n, n)).astype(np.float32)
+    hdr = 3 * n + 1
+    pad = (16 - hdr % 16) % 16
+    a_off = hdr + pad
+    b_off = a_off + n * n
+    c_off = b_off + n * n
+    heap_off = c_off + n * n
+    data: List[int] = []
+    data += [DATA_BASE + a_off + i * n for i in range(n)]
+    data += [DATA_BASE + b_off + i * n for i in range(n)]
+    data += [DATA_BASE + c_off + i * n for i in range(n)]
+    data += [n]
+    data += [0] * pad
+    data += [float_to_bits(float(v)) for v in a.reshape(-1)]
+    data += [float_to_bits(float(v)) for v in b.reshape(-1)]
+    data += [0] * (n * n)
+    data += _heap_tail(rng, heap_off)
+
+    listing = [
+        ("CALL", 0, 0, "main"),
+        ("HALT",),
+        # ---- main: the whole multiply runs in a stack frame ----
+        "main",
+        ("LOADI", 10, 0, DATA_BASE),
+        ("LD", 9, 10, 3 * n),         # r9 = n
+        ("PUSH", 0, 9, 0),            # spill the bound (live stack data)
+        ("LOADI", 1, 0, 0),
+        "loop_i",
+        ("MOV", 5, 10, 0),
+        ("ADD", 5, 1, 0),
+        ("LD", 11, 5, 0),             # r11 = A row ptr
+        ("LOADI", 2, 0, 0),
+        "loop_j",
+        ("CALL", 0, 0, "dot"),        # r4 = A[i,:] . B[:,j]
+        ("MOV", 5, 10, 0),
+        ("ADD", 5, 1, 0),
+        ("LD", 12, 5, 2 * n),         # r12 = C row ptr
+        ("ADD", 12, 2, 0),
+        ("FST", 4, 12, 0),            # C[i][j] = acc
+        ("ADDI", 2, 2, 1),
+        ("BLT", 2, 9, "loop_j"),
+        ("ADDI", 1, 1, 1),
+        ("BLT", 1, 9, "loop_i"),
+        ("POP", 9, 0, 0),
+        ("RET",),
+        # ---- float dot product of A row (r11) and B column j (r2) ----
+        "dot",
+        ("PUSH", 0, 3, 0),            # save k
+        ("LOADI", 4, 0, 0),           # acc = 0
+        ("LOADI", 3, 0, 0),           # k = 0
+        "dot_k",
+        ("MOV", 5, 11, 0),
+        ("ADD", 5, 3, 0),
+        ("FLD", 7, 5, 0),             # a = A[i][k]
+        ("MOV", 6, 10, 0),
+        ("ADD", 6, 3, 0),
+        ("LD", 6, 6, n),              # r6 = B row-k ptr
+        ("ADD", 6, 2, 0),
+        ("FLD", 8, 6, 0),             # b = B[k][j]
+        ("FMUL", 7, 8, 0),
+        ("FADD", 4, 7, 0),
+        ("ADDI", 3, 3, 1),
+        ("BLT", 3, 9, "dot_k"),
+        ("POP", 3, 0, 0),             # restore k
+        ("RET",),
+    ]
+    program = Program(
+        code=assemble(listing + _cold_tail("mm")),
+        data=data,
+        output_range=(c_off, n * n),
+        float_offsets=frozenset(range(a_off, c_off + n * n)),
+        name="cpu-matmul",
+    )
+    golden = (a.astype(np.float64) @ b.astype(np.float64)).astype(np.float32)
+    return program, golden.reshape(-1).astype(np.float64)
+
+
+def cpu_sort_program(seed: int = 0, n: int = 16) -> Tuple[Program, np.ndarray]:
+    """Integer bubble sort through an array pointer, in a stack frame."""
+    rng = np.random.default_rng(seed + 200)
+    values = rng.integers(-500, 500, n).astype(np.int64)
+    arr_off = 8
+    heap_off = arr_off + n
+    data = (
+        [DATA_BASE + arr_off, n]
+        + [0] * (arr_off - 2)
+        + [int(v) & 0xFFFFFFFF for v in values]
+        + _heap_tail(rng, heap_off)
+    )
+    listing = [
+        ("CALL", 0, 0, "main"),
+        ("HALT",),
+        "main",
+        ("LOADI", 10, 0, DATA_BASE),
+        ("LD", 9, 10, 0),             # base ptr
+        ("LD", 1, 10, 1),             # n
+        ("PUSH", 0, 9, 0),            # spill base ptr (live stack data)
+        ("PUSH", 0, 1, 0),            # spill n
+        ("LOADI", 2, 0, 0),           # i
+        "outer",
+        ("MOV", 4, 1, 0),
+        ("ADDI", 4, 4, -1),
+        ("SUB", 4, 2, 0),             # limit = n - 1 - i
+        ("LOADI", 3, 0, 0),           # j
+        "inner",
+        ("MOV", 5, 9, 0),
+        ("ADD", 5, 3, 0),
+        ("LD", 6, 5, 0),
+        ("LD", 7, 5, 1),
+        ("BGE", 7, 6, "noswap"),
+        ("ST", 7, 5, 0),
+        ("ST", 6, 5, 1),
+        "noswap",
+        ("ADDI", 3, 3, 1),
+        ("BLT", 3, 4, "inner"),
+        ("ADDI", 2, 2, 1),
+        ("POP", 1, 0, 0),             # reload n from the stack
+        ("PUSH", 0, 1, 0),
+        ("MOV", 8, 1, 0),
+        ("ADDI", 8, 8, -1),
+        ("BLT", 2, 8, "outer"),
+        ("POP", 1, 0, 0),
+        ("POP", 9, 0, 0),
+        ("RET",),
+    ]
+    program = Program(
+        code=assemble(listing + _cold_tail("srt")),
+        data=data,
+        output_range=(arr_off, n),
+        name="cpu-sort",
+    )
+    return program, np.sort(values).astype(np.float64)
+
+
+def cpu_checksum_program(seed: int = 0, n: int = 24) -> Tuple[Program, np.ndarray]:
+    """Polynomial rolling checksum: out = fold(31*h + v), stack-framed."""
+    rng = np.random.default_rng(seed + 300)
+    values = rng.integers(0, 256, n).astype(np.int64)
+    buf_off = 8
+    out_off = buf_off + n
+    heap_off = out_off + 1
+    data = (
+        [DATA_BASE + buf_off, n, DATA_BASE + out_off]
+        + [0] * (buf_off - 3)
+        + [int(v) for v in values]
+        + [0]
+        + _heap_tail(rng, heap_off)
+    )
+    listing = [
+        ("CALL", 0, 0, "main"),
+        ("HALT",),
+        "main",
+        ("LOADI", 10, 0, DATA_BASE),
+        ("LD", 9, 10, 0),             # buf ptr
+        ("LD", 1, 10, 1),             # n
+        ("PUSH", 0, 9, 0),            # spill buf ptr
+        ("LOADI", 4, 0, 0),           # h = 0
+        ("LOADI", 8, 0, 31),
+        ("LOADI", 3, 0, 0),           # i
+        "loop",
+        ("POP", 9, 0, 0),             # reload buf ptr from the stack
+        ("PUSH", 0, 9, 0),
+        ("MOV", 5, 9, 0),
+        ("ADD", 5, 3, 0),
+        ("LD", 6, 5, 0),
+        ("MUL", 4, 8, 0),             # h *= 31
+        ("ADD", 4, 6, 0),             # h += v
+        ("ADDI", 3, 3, 1),
+        ("BLT", 3, 1, "loop"),
+        ("LD", 7, 10, 2),             # out ptr
+        ("ST", 4, 7, 0),
+        ("POP", 9, 0, 0),
+        ("RET",),
+    ]
+    program = Program(
+        code=assemble(listing + _cold_tail("ck")),
+        data=data,
+        output_range=(out_off, 1),
+        name="cpu-checksum",
+    )
+    h = 0
+    for v in values:
+        h = (h * 31 + int(v)) & 0xFFFFFFFF
+        if h >= 2**31:
+            h -= 2**32
+    return program, np.array([float(h)])

@@ -1,0 +1,122 @@
+"""Exception hierarchy for the Hauberk reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream users can catch library failures with a single ``except``.
+The GPU-runtime errors deliberately mirror the failure taxonomy of the
+paper's Section VIII: a *kernel crash* is detected by the (simulated) GPU
+runtime, a *kernel hang* is detected by the guardian watchdog, and a
+*compile error* models resource exhaustion at instrumentation time
+(e.g. R-Scatter doubling shared memory past the device limit).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class KIRError(ReproError):
+    """Base class for kernel-IR construction/analysis errors."""
+
+
+class KIRTypeError(KIRError):
+    """A kernel expression or statement is ill-typed."""
+
+
+class KIRParseError(KIRError):
+    """The mini-CUDA source text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__(f"{message} (line {line}, col {col})")
+        self.line = line
+        self.col = col
+
+
+class KIRValidationError(KIRError):
+    """A kernel AST violates a structural invariant."""
+
+
+class GPUError(ReproError):
+    """Base class for simulated-GPU runtime errors."""
+
+
+class KernelCrash(GPUError):
+    """The GPU runtime detected a crash (e.g. out-of-bounds access).
+
+    This corresponds to the paper's *failure* outcome detected "by the
+    GPU runtime environment".  The crash carries the offending thread
+    and a reason string so the guardian can log it.
+    """
+
+    def __init__(self, reason: str, thread: int = -1, block: int = -1):
+        super().__init__(f"kernel crash: {reason} (block {block}, thread {thread})")
+        self.reason = reason
+        self.thread = thread
+        self.block = block
+
+
+class KernelHang(GPUError):
+    """The watchdog killed a kernel that exceeded its instruction budget.
+
+    Models the guardian's preemptive hang detection (Section VI(i)):
+    execution time > T x previous execution AND > a fixed interval.
+    """
+
+    def __init__(self, reason: str = "instruction budget exhausted"):
+        super().__init__(f"kernel hang: {reason}")
+        self.reason = reason
+
+
+class DeviceMemoryError(KernelCrash):
+    """Out-of-bounds or unmapped device memory access."""
+
+
+class LaunchError(GPUError):
+    """Kernel launch parameters are invalid for the device."""
+
+
+class CompileError(GPUError):
+    """The kernel cannot be 'compiled' for the device.
+
+    Raised when a transformed kernel exceeds device resources, e.g. the
+    paper's observation that R-Scatter could not compile TPACF because
+    it doubles a shared-memory footprint already above 50%.
+    """
+
+
+class InjectionError(ReproError):
+    """A fault-injection experiment was misconfigured."""
+
+
+class RecoveryError(ReproError):
+    """The recovery engine cannot make progress (e.g. no healthy GPU)."""
+
+
+class UnsupportedSoftwareError(RecoveryError):
+    """Figure 11 terminal state: reexecution diverges without an SDC alarm.
+
+    The diagnosis concludes the software itself is buggy or
+    nondeterministic, which Hauberk does not attempt to repair.
+    """
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload was asked for an unsupported configuration."""
+
+
+class CPUSimError(ReproError):
+    """Base class for the CPU-comparison simulator."""
+
+
+class CPUSegmentationFault(CPUSimError):
+    """Page-granularity access check failed on the simulated CPU."""
+
+    def __init__(self, address: int, access: str = "read"):
+        super().__init__(f"segmentation fault: {access} at 0x{address & 0xFFFFFFFF:08x}")
+        self.address = address
+        self.access = access
+
+
+class CPUIllegalInstruction(CPUSimError):
+    """The simulated CPU decoded a corrupted instruction."""

@@ -1,0 +1,30 @@
+"""Simulated GPU substrate.
+
+A deterministic architectural model of the paper's testbed (NVIDIA
+Tesla S1070: 4 GT200 GPUs per node).  It exposes exactly the state the
+paper's SWIFI tool manipulates — program variables in register frames,
+flat unprotected device memory, kernel launches with crash/hang
+detection — plus a cycle cost model so performance overheads (Figure
+13) are reproducible ratios instead of wall-clock noise.
+"""
+
+from repro.gpu.device import Device, DeviceSpec, GT200_SPEC
+from repro.gpu.memory import GlobalMemory, Allocation
+from repro.gpu.costmodel import CostModel
+from repro.gpu.runtime import GPURuntime, LaunchResult
+from repro.gpu.faults import FaultSite, hardware_components_of
+from repro.gpu.cluster import GPUNode
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "GT200_SPEC",
+    "GlobalMemory",
+    "Allocation",
+    "CostModel",
+    "GPURuntime",
+    "LaunchResult",
+    "FaultSite",
+    "hardware_components_of",
+    "GPUNode",
+]

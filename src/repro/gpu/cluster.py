@@ -1,0 +1,101 @@
+"""Multi-GPU node with device disabling, migration, and back-off.
+
+Implements the Section VI(i)/(ii.c) recovery substrate: when BIST
+diagnoses a hardware fault, "the current GPU device is disabled and
+another device in the node or cluster is used", while "a daemon
+process is periodically running this [BIST] program on disabled GPU
+devices with a time delay T_backoff ... doubled after every
+execution"; a passing BIST re-enables the device.
+
+Time here is *simulated*: the daemon is driven by an explicit clock so
+tests can exercise the exponential back-off deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import RecoveryError
+from repro.gpu.device import Device, DeviceSpec, GT200_SPEC
+
+
+@dataclass
+class BackoffEntry:
+    """Back-off state for one disabled device."""
+
+    device_id: int
+    next_probe_time: float
+    backoff: float
+
+
+class GPUNode:
+    """A node holding several GPUs (the paper's S1070 has four)."""
+
+    def __init__(
+        self,
+        num_devices: int = 4,
+        spec: DeviceSpec = GT200_SPEC,
+        initial_backoff: float = 1.0,
+    ):
+        if num_devices <= 0:
+            raise RecoveryError(f"a node needs at least one device, got {num_devices}")
+        self.devices: List[Device] = [Device(spec=spec) for _ in range(num_devices)]
+        self.initial_backoff = initial_backoff
+        self._backoff: Dict[int, BackoffEntry] = {}
+
+    # -- selection -------------------------------------------------------
+    def healthy_device(self) -> Device:
+        """First enabled device; raises if the node is exhausted."""
+        for d in self.devices:
+            if d.enabled:
+                return d
+        raise RecoveryError("no healthy GPU device available in the node")
+
+    def device_by_id(self, device_id: int) -> Device:
+        for d in self.devices:
+            if d.device_id == device_id:
+                return d
+        raise RecoveryError(f"unknown device id {device_id}")
+
+    # -- disable / migrate -------------------------------------------------
+    def disable(self, device: Device, now: float = 0.0) -> None:
+        """Take a device out of rotation and schedule back-off probes."""
+        device.enabled = False
+        self._backoff[device.device_id] = BackoffEntry(
+            device_id=device.device_id,
+            next_probe_time=now + self.initial_backoff,
+            backoff=self.initial_backoff,
+        )
+
+    def migrate_from(self, failed: Device, now: float = 0.0) -> Device:
+        """Disable ``failed`` and return a replacement device."""
+        self.disable(failed, now=now)
+        return self.healthy_device()
+
+    # -- back-off daemon -----------------------------------------------------
+    def run_backoff_daemon(
+        self, now: float, bist: Callable[[Device], bool]
+    ) -> List[int]:
+        """Probe disabled devices whose back-off expired.
+
+        ``bist`` returns True when the device passes self-test; passing
+        devices are re-enabled.  Failing devices stay disabled with a
+        doubled delay.  Returns re-enabled device ids.
+        """
+        reenabled: List[int] = []
+        for entry in list(self._backoff.values()):
+            if now < entry.next_probe_time:
+                continue
+            device = self.device_by_id(entry.device_id)
+            if bist(device):
+                device.enabled = True
+                del self._backoff[entry.device_id]
+                reenabled.append(entry.device_id)
+            else:
+                entry.backoff *= 2.0
+                entry.next_probe_time = now + entry.backoff
+        return reenabled
+
+    def pending_backoff(self, device_id: int) -> Optional[BackoffEntry]:
+        return self._backoff.get(device_id)

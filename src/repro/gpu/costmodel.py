@@ -1,0 +1,152 @@
+"""Cycle cost model for KIR execution on the simulated GPU.
+
+Relative costs follow GT200-era throughput folklore: simple FP/int ALU
+ops are cheap, transcendental/SFU ops and division are ~an order of
+magnitude dearer, and global-memory operations dominate everything —
+the "common characteristic in GPU architecture that memory operations
+are more expensive than computation operations" Hauberk's checksum
+design leverages (Section V.A).
+
+Absolute numbers are *not* calibrated to silicon; every result that
+uses them (Figures 4 and 13) is a ratio of two executions under the
+same model, so only the ordering of cost classes matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import KIRError
+from repro.kir.astnodes import (
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Load,
+    SharedLoad,
+    SpecialReg,
+    UnOp,
+    Var,
+    walk_exprs,
+)
+from repro.kir.types import DType
+
+#: Intrinsic -> cycles.
+_INTRINSIC_COST = {
+    "sqrt": 8.0,
+    "rsqrt": 8.0,
+    "exp": 16.0,
+    "log": 16.0,
+    "sin": 16.0,
+    "cos": 16.0,
+    "acos": 20.0,
+    "atan2": 24.0,
+    "floor": 2.0,
+    "fabs": 1.0,
+    "pow": 24.0,
+    "fmin": 1.0,
+    "fmax": 1.0,
+    "abs": 1.0,
+    "min": 1.0,
+    "max": 1.0,
+    "int": 1.0,
+    "float": 1.0,
+    "__float_as_int": 1.0,
+}
+
+
+@dataclass
+class CostModel:
+    """Per-operation cycle costs plus derived helpers."""
+
+    int_alu: float = 1.0
+    int_mul: float = 2.0
+    int_div: float = 16.0
+    fp_alu: float = 1.0
+    fp_div: float = 8.0
+    compare: float = 1.0
+    logical: float = 1.0
+    bitwise: float = 1.0
+    mem_global: float = 40.0
+    mem_shared: float = 2.0
+    atomic_shared: float = 6.0
+    atomic_global: float = 60.0
+    branch_cost: float = 1.0
+    write_cost: float = 1.0
+    sync_cost: float = 4.0
+    #: Extra cycles per spilled register per statement-equivalent;
+    #: applied as a multiplicative penalty, see :meth:`spill_factor`.
+    spill_coefficient: float = 0.25
+    #: Cycle cost of instrumentation-library calls by suffix.
+    libcall_costs: Dict[str, float] = field(
+        default_factory=lambda: {
+            "__hauberk_check_range": 24.0,
+            "__hauberk_check_equal": 4.0,
+            "__hauberk_checksum_validate": 4.0,
+            "__hauberk_profile_range": 0.0,
+            "__hauberk_profile_count": 0.0,
+            "__hauberk_fi": 0.0,
+        }
+    )
+
+    # -- expression costing ---------------------------------------------
+    def expr_cost(self, e: Expr) -> float:
+        """Total cycles to evaluate an expression tree once."""
+        total = 0.0
+        for node in walk_exprs(e):
+            total += self._node_cost(node)
+        return total
+
+    def _node_cost(self, node: Expr) -> float:
+        if isinstance(node, (Const, Var, SpecialReg)):
+            return 0.0  # register/immediate operands are free
+        if isinstance(node, BinOp):
+            is_float = node.dtype is DType.FLOAT32
+            op = node.op
+            if op in ("+", "-"):
+                return self.fp_alu if is_float else self.int_alu
+            if op == "*":
+                return self.fp_alu if is_float else self.int_mul
+            if op == "/":
+                return self.fp_div if is_float else self.int_div
+            if op == "%":
+                return self.int_div
+            if op in BinOp.COMPARE:
+                return self.compare
+            if op in BinOp.LOGICAL:
+                return self.logical
+            if op in BinOp.BITWISE:
+                return self.bitwise
+            raise KIRError(f"no cost for operator {op!r}")
+        if isinstance(node, UnOp):
+            return self.int_alu if node.dtype is DType.INT32 else self.fp_alu
+        if isinstance(node, Call):
+            try:
+                return _INTRINSIC_COST[node.func]
+            except KeyError:
+                raise KIRError(f"no cost for intrinsic {node.func!r}") from None
+        if isinstance(node, Load):
+            return self.mem_global
+        if isinstance(node, SharedLoad):
+            return self.mem_shared
+        raise KIRError(f"no cost for node {type(node).__name__}")
+
+    def libcall_cost(self, func: str) -> float:
+        return self.libcall_costs.get(func, 0.0)
+
+    # -- register spilling ------------------------------------------------
+    def spill_factor(self, pressure: int, budget: int) -> float:
+        """Multiplicative slowdown when live values exceed registers.
+
+        Spilled values turn register accesses into local-memory traffic;
+        the penalty grows with the overflow fraction.  This is what makes
+        naive duplication (which doubles live ranges) expensive and
+        Hauberk-NL (2-statement duplicate lifetimes) cheap, and produces
+        the paper's note that HAUBERK-NL overhead on MRI-Q/MRI-FHD
+        exceeds the non-loop time share (Section IX.A).
+        """
+        if budget <= 0:
+            raise KIRError(f"invalid register budget {budget}")
+        overflow = max(0, pressure - budget)
+        return 1.0 + self.spill_coefficient * overflow / budget

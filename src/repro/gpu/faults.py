@@ -1,0 +1,63 @@
+"""Hardware fault-site taxonomy (paper Section VII(i)).
+
+Faults are classified by the architecture component whose corruption
+the injected error emulates: (a) core ALU, (b) core FPU, (c) SM
+register file, (d) SM scheduler — plus memory for completeness (the
+paper assumes memory paths are ECC-protected on current devices and so
+focuses injections on core state).
+
+``hardware_components_of`` performs the static derivation the paper's
+translator does: "the hardware components used are statically derived
+by analyzing the operation types, e.g. ALU and FPU for integer and FP
+expressions respectively".
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+from repro.kir.astnodes import (
+    BinOp,
+    Call,
+    Expr,
+    Load,
+    SharedLoad,
+    UnOp,
+    walk_exprs,
+)
+from repro.kir.types import DType
+
+_FPU_INTRINSICS = {
+    "sqrt", "rsqrt", "exp", "log", "sin", "cos", "acos", "atan2",
+    "floor", "fabs", "pow", "fmin", "fmax", "float",
+}
+
+
+class FaultSite(enum.Enum):
+    """Architecture component a fault emulates corruption of."""
+
+    ALU = "alu"
+    FPU = "fpu"
+    REGISTER = "register"
+    SCHEDULER = "scheduler"
+    MEMORY = "memory"
+
+
+def hardware_components_of(expr: Expr) -> FrozenSet[FaultSite]:
+    """Components exercised by evaluating ``expr`` (static derivation)."""
+    sites = {FaultSite.REGISTER}  # the result lands in a register
+    for node in walk_exprs(expr):
+        if isinstance(node, (BinOp, UnOp)):
+            if node.dtype is DType.FLOAT32:
+                sites.add(FaultSite.FPU)
+            else:
+                sites.add(FaultSite.ALU)
+        elif isinstance(node, Call):
+            if node.func in _FPU_INTRINSICS:
+                sites.add(FaultSite.FPU)
+            else:
+                sites.add(FaultSite.ALU)
+        elif isinstance(node, (Load, SharedLoad)):
+            sites.add(FaultSite.MEMORY)
+    return frozenset(sites)

@@ -1,0 +1,156 @@
+"""Flat device memory with *no* fine-grained protection.
+
+The paper attributes the GPU/CPU SDC gap partly to "the lack of
+fine-grained error protection in GPUs: unlike modern CPUs, GPUs do not
+have a page-granularity memory access permission checking" (Section
+II.A cause (a)).  This model reproduces that: allocations are packed
+into one flat word-addressed space, so a corrupted pointer that stays
+inside the mapped range silently reads/writes *another buffer's* data
+(an SDC path), and only addresses outside the mapped range crash the
+kernel.  Contrast with :mod:`repro.cpusim.machine`, which checks pages.
+
+Memory holds raw 32-bit words (bit patterns); typed accessors
+reinterpret on the way in/out, which is also where float64 interpreter
+values round through binary32 — matching data stored in real GDDR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bits import bits_to_float, bits_to_int, float_to_bits, int_to_bits
+from repro.errors import DeviceMemoryError, GPUError
+from repro.kir.types import DType
+
+
+@dataclass
+class Allocation:
+    """One device buffer: a contiguous range of the flat word space."""
+
+    name: str
+    base: int
+    nwords: int
+    dtype: DType
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nwords
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class GlobalMemory:
+    """Word-addressed flat device memory with a bump allocator."""
+
+    def __init__(self, capacity_words: int = 1 << 20):
+        if capacity_words <= 0:
+            raise GPUError(f"invalid memory capacity {capacity_words}")
+        self.capacity = capacity_words
+        self.words: List[int] = [0] * capacity_words
+        self.allocations: Dict[str, Allocation] = {}
+        self._brk = 0
+        #: Highest mapped address + 1; accesses past this crash.
+        self.mapped_end = 0
+
+    # -- allocation ----------------------------------------------------
+    def alloc(self, name: str, nwords: int, dtype: DType = DType.FLOAT32) -> Allocation:
+        """Allocate a named buffer; returns its allocation record."""
+        if name in self.allocations:
+            raise GPUError(f"buffer {name!r} already allocated")
+        if nwords <= 0:
+            raise GPUError(f"invalid allocation size {nwords} for {name!r}")
+        if self._brk + nwords > self.capacity:
+            raise GPUError(
+                f"device out of memory: need {nwords} words, "
+                f"{self.capacity - self._brk} free"
+            )
+        allocation = Allocation(name=name, base=self._brk, nwords=nwords, dtype=dtype)
+        self.allocations[name] = allocation
+        self._brk += nwords
+        self.mapped_end = self._brk
+        return allocation
+
+    def reset(self) -> None:
+        """Free everything (between program runs)."""
+        for i in range(self._brk):
+            self.words[i] = 0
+        self.allocations.clear()
+        self._brk = 0
+        self.mapped_end = 0
+
+    def allocation_of(self, addr: int) -> Optional[Allocation]:
+        """The allocation containing ``addr``, if any (diagnostics)."""
+        for a in self.allocations.values():
+            if a.contains(addr):
+                return a
+        return None
+
+    # -- typed scalar access (kernel loads/stores) ----------------------
+    #
+    # Access is checked against the *device address space* (capacity),
+    # not against allocations: GT200-era GPUs have no per-allocation
+    # MMU faulting, so a corrupted pointer that stays on the device
+    # reads or clobbers unrelated data silently (the SDC path), and
+    # only addresses outside the device crash the kernel.  This is the
+    # paper's "lack of fine-grained error protection" made concrete.
+
+    def load_f32(self, addr: int) -> float:
+        if 0 <= addr < self.capacity:
+            return bits_to_float(self.words[addr])
+        raise DeviceMemoryError(f"load outside device memory: {addr}")
+
+    def load_i32(self, addr: int) -> int:
+        if 0 <= addr < self.capacity:
+            return bits_to_int(self.words[addr])
+        raise DeviceMemoryError(f"load outside device memory: {addr}")
+
+    def store_f32(self, addr: int, value: float) -> None:
+        if 0 <= addr < self.capacity:
+            self.words[addr] = float_to_bits(value)
+            return
+        raise DeviceMemoryError(f"store outside device memory: {addr}")
+
+    def store_i32(self, addr: int, value: int) -> None:
+        if 0 <= addr < self.capacity:
+            self.words[addr] = int_to_bits(value)
+            return
+        raise DeviceMemoryError(f"store outside device memory: {addr}")
+
+    # -- bulk transfer (cudaMemcpy equivalents) --------------------------
+    def memcpy_htod(self, dst: Allocation, array: np.ndarray) -> None:
+        """Copy a host NumPy array into a device buffer."""
+        flat = np.ascontiguousarray(array).reshape(-1)
+        if flat.size > dst.nwords:
+            raise GPUError(
+                f"htod overflow: {flat.size} elements into {dst.nwords} words"
+            )
+        if dst.dtype is DType.FLOAT32 or dst.dtype is DType.PTR_FLOAT32:
+            bits = flat.astype(np.float32).view(np.uint32)
+        else:
+            bits = flat.astype(np.int32).view(np.uint32)
+        self.words[dst.base : dst.base + flat.size] = [int(b) for b in bits]
+
+    def memcpy_dtoh(self, src: Allocation, count: Optional[int] = None) -> np.ndarray:
+        """Copy a device buffer back to a host NumPy array."""
+        n = src.nwords if count is None else count
+        if n > src.nwords:
+            raise GPUError(f"dtoh overflow: {n} words from {src.nwords}-word buffer")
+        bits = np.array(self.words[src.base : src.base + n], dtype=np.uint32)
+        if src.dtype is DType.FLOAT32 or src.dtype is DType.PTR_FLOAT32:
+            return bits.view(np.float32).copy()
+        return bits.view(np.int32).copy()
+
+    # -- fault injection (memory/bus faults) -----------------------------
+    def inject_word_fault(self, addr: int, mask: int) -> None:
+        """XOR an error mask into one memory word (Section VII)."""
+        if not 0 <= addr < self.mapped_end:
+            raise DeviceMemoryError(f"fault injection outside mapped memory: {addr}")
+        self.words[addr] ^= mask & 0xFFFFFFFF
+
+    @property
+    def used_words(self) -> int:
+        return self._brk

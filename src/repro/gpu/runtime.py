@@ -1,0 +1,195 @@
+"""Kernel launch machinery: grids, frames, watchdog, timing.
+
+``GPURuntime.launch`` plays the role of ``cudaLaunchKernel`` plus the
+surrounding measurement harness: it executes every thread of the grid
+(fast closure path, or lockstep for barrier kernels), detects crashes
+and hangs the way the GPU runtime + guardian watchdog do in the paper,
+and converts accumulated thread-cycles into a kernel time via the
+device's parallel width and register-spill factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import CompileError, LaunchError
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import Device
+from repro.gpu.memory import Allocation
+from repro.kir.analysis.liveness import register_pressure
+from repro.kir.astnodes import Kernel
+from repro.kir.interp.compiler import CompiledKernel
+from repro.kir.interp.evalcore import ExecContext, InstrumentationLibrary
+from repro.kir.interp.lockstep import LockstepProgram
+from repro.kir.types import DType
+
+Dim = Union[int, Tuple[int, int]]
+
+#: GT200 hardware limit.
+MAX_THREADS_PER_BLOCK = 512
+
+
+def _normalize_dim(dim: Dim, what: str) -> Tuple[int, int]:
+    if isinstance(dim, int):
+        dim = (dim, 1)
+    x, y = dim
+    if x <= 0 or y <= 0:
+        raise LaunchError(f"invalid {what} dimensions {dim}")
+    return x, y
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one successful kernel launch."""
+
+    kernel_name: str
+    n_threads: int
+    #: Sum of per-thread cycles over the whole grid.
+    total_cycles: float
+    #: Portion of total_cycles spent inside loops (Figure 4 numerator).
+    loop_cycles: float
+    #: Modeled kernel wall time in cycles: total/lanes x spill factor.
+    kernel_time: float
+    register_pressure: int
+    spill_factor: float
+    #: Largest per-thread statement count seen (guardian hang baseline).
+    max_thread_steps: int = 0
+
+    @property
+    def loop_fraction(self) -> float:
+        """Fraction of GPU execution time spent in loops (Figure 4)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.loop_cycles / self.total_cycles
+
+
+class GPURuntime:
+    """Launches KIR kernels on one simulated device."""
+
+    def __init__(self, device: Optional[Device] = None, costmodel: Optional[CostModel] = None):
+        self.device = device if device is not None else Device()
+        self.costmodel = costmodel if costmodel is not None else CostModel()
+        self._prepared: Dict[int, tuple] = {}
+
+    # -- preparation -----------------------------------------------------
+    def prepare(self, kernel: Kernel):
+        """Compile (and resource-check) a kernel; cached per object."""
+        cached = self._prepared.get(id(kernel))
+        if cached is not None and cached[0] is kernel:
+            return cached[1]
+        if kernel.shared_mem_words > self.device.spec.shared_mem_words:
+            raise CompileError(
+                f"kernel {kernel.name} needs {kernel.shared_mem_words} words of "
+                f"shared memory; device has {self.device.spec.shared_mem_words}"
+            )
+        if kernel.uses_sync:
+            prog = LockstepProgram(kernel, self.costmodel)
+        else:
+            prog = CompiledKernel(kernel, self.costmodel)
+        entry = (prog, register_pressure(kernel))
+        self._prepared[id(kernel)] = (kernel, entry)
+        return entry
+
+    # -- launching ---------------------------------------------------------
+    def launch(
+        self,
+        kernel: Kernel,
+        grid: Dim,
+        block: Dim,
+        args: Dict[str, object],
+        lib: Optional[InstrumentationLibrary] = None,
+        budget: int = 2_000_000,
+    ) -> LaunchResult:
+        """Run the kernel over the whole grid.
+
+        ``args`` maps parameter names to values; :class:`Allocation`
+        values are lowered to their base addresses (device pointers).
+        Raises :class:`~repro.errors.KernelCrash` /
+        :class:`~repro.errors.KernelHang` on failure — the GPU-runtime
+        detected failures of the paper's outcome taxonomy.
+        """
+        if not self.device.enabled:
+            raise LaunchError(f"device {self.device.device_id} is disabled")
+        gx, gy = _normalize_dim(grid, "grid")
+        bx, by = _normalize_dim(block, "block")
+        if bx * by > MAX_THREADS_PER_BLOCK:
+            raise LaunchError(
+                f"block of {bx * by} threads exceeds limit {MAX_THREADS_PER_BLOCK}"
+            )
+        prog, pressure = self.prepare(kernel)
+        base_frame = self._lower_args(kernel, args)
+        base_frame["gridDim.x"] = gx
+        base_frame["gridDim.y"] = gy
+        base_frame["blockDim.x"] = bx
+        base_frame["blockDim.y"] = by
+
+        ctx = ExecContext(self.device.memory, lib=lib, budget=budget)
+        n_threads = gx * gy * bx * by
+        shared_decls = kernel.shared
+        for block_y in range(gy):
+            for block_x in range(gx):
+                ctx.block = block_y * gx + block_x
+                ctx.shared = {
+                    s.name: ([0.0] * s.size if s.dtype is DType.FLOAT32 else [0] * s.size)
+                    for s in shared_decls
+                }
+                if kernel.uses_sync:
+                    frames = []
+                    for ty in range(by):
+                        for tx in range(bx):
+                            fr = dict(base_frame)
+                            fr["blockIdx.x"] = block_x
+                            fr["blockIdx.y"] = block_y
+                            fr["threadIdx.x"] = tx
+                            fr["threadIdx.y"] = ty
+                            frames.append(fr)
+                    prog.run_block(frames, ctx)
+                else:
+                    for ty in range(by):
+                        for tx in range(bx):
+                            fr = dict(base_frame)
+                            fr["blockIdx.x"] = block_x
+                            fr["blockIdx.y"] = block_y
+                            fr["threadIdx.x"] = tx
+                            fr["threadIdx.y"] = ty
+                            ctx.reset_thread(ctx.block, ty * bx + tx)
+                            prog.run_thread(fr, ctx)
+
+        ctx.reset_thread(-1, -1)  # fold the final thread into max_steps
+        lanes = min(n_threads, self.device.spec.parallel_lanes)
+        spill = self.costmodel.spill_factor(
+            pressure, self.device.spec.registers_per_thread
+        )
+        return LaunchResult(
+            kernel_name=kernel.name,
+            n_threads=n_threads,
+            total_cycles=ctx.cycles,
+            loop_cycles=ctx.loop_cycles,
+            kernel_time=ctx.cycles / lanes * spill,
+            register_pressure=pressure,
+            spill_factor=spill,
+            max_thread_steps=ctx.max_steps,
+        )
+
+    @staticmethod
+    def _lower_args(kernel: Kernel, args: Dict[str, object]) -> Dict[str, object]:
+        frame: Dict[str, object] = {}
+        for p in kernel.params:
+            if p.name not in args:
+                raise LaunchError(f"missing kernel argument {p.name!r}")
+            value = args[p.name]
+            if isinstance(value, Allocation):
+                if not p.dtype.is_pointer:
+                    raise LaunchError(f"buffer passed for scalar parameter {p.name!r}")
+                frame[p.name] = value.base
+            elif p.dtype.is_pointer:
+                frame[p.name] = int(value)
+            elif p.dtype is DType.FLOAT32:
+                frame[p.name] = float(value)
+            else:
+                frame[p.name] = int(value)
+        extra = set(args) - {p.name for p in kernel.params}
+        if extra:
+            raise LaunchError(f"unknown kernel arguments {sorted(extra)}")
+        return frame

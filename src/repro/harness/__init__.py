@@ -1,0 +1,13 @@
+"""Experiment harness: one driver per paper figure/table.
+
+Every module exposes a ``run_*`` function returning a structured
+result plus a ``print_*`` helper producing the rows/series the paper
+reports.  The pytest-benchmark files under ``benchmarks/`` are thin
+wrappers over these drivers; EXPERIMENTS.md records their output
+against the paper's numbers.
+"""
+
+from repro.harness.config import ExperimentScale, SMOKE, BENCH, LOOPY
+from repro.harness import reporting
+
+__all__ = ["ExperimentScale", "SMOKE", "BENCH", "LOOPY", "reporting"]

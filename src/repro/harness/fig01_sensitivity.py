@@ -1,0 +1,155 @@
+"""Figure 1 — error sensitivity of GPU HPC vs GPU graphics vs CPU programs.
+
+Rows: GPU HPC programs by corrupted data type (pointer / integer / FP),
+GPU graphics programs by the same classes, and CPU programs by segment
+(stack / data / code).  Each cell is a bar of crash+hang / SDC /
+not-manifested fractions.
+
+Paper anchors (Observations 1-2): pointer/int/FP SDC on HPC GPU = 18% /
+45% / 39%; FP faults essentially never crash a GPU kernel; graphics SDC
+~0 for single-bit faults; CPU SDC < 2.3%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.program import HauberkProgram
+from repro.cpusim import (
+    CPUFaultCampaign,
+    cpu_checksum_program,
+    cpu_matmul_program,
+    cpu_sort_program,
+)
+from repro.harness.config import BENCH, ExperimentScale
+from repro.harness.reporting import pct, print_table
+from repro.swifi import Campaign, build_fault_specs, enumerate_targets, select_targets
+from repro.swifi.outcomes import Outcome
+from repro.workloads import all_workloads, get_workload
+
+import numpy as np
+
+HPC_NAMES = ("CP", "MRI-FHD", "MRI-Q", "PNS", "RPES", "SAD", "TPACF")
+GRAPHICS_NAMES = ("OCEAN", "RAYTRACE")
+CLASSES = ("pointer", "integer", "fp")
+
+
+@dataclass
+class SensitivityRow:
+    group: str
+    category: str
+    failure: float = 0.0
+    sdc: float = 0.0
+    masked: float = 0.0
+    trials: int = 0
+
+
+@dataclass
+class Fig01Result:
+    rows: List[SensitivityRow] = field(default_factory=list)
+
+    def row(self, group: str, category: str) -> SensitivityRow:
+        for r in self.rows:
+            if r.group == group and r.category == category:
+                return r
+        raise KeyError((group, category))
+
+
+def _gpu_rows(
+    names, group: str, scale: ExperimentScale, trials_cap_per_class: int
+) -> List[SensitivityRow]:
+    tallies: Dict[str, List[int]] = {c: [0, 0, 0, 0] for c in CLASSES}
+    rng = np.random.default_rng(scale.seed)
+    for name in names:
+        wl = get_workload(name, **scale.workload_kwargs.get(name, {}))
+        prog = HauberkProgram(wl)
+        inp = wl.generate_input(0)
+        runner = prog.trial_runner("fi")
+        campaign = Campaign(runner)
+        for cls in CLASSES:
+            sites = enumerate_targets(wl.kernel, classes=[cls])
+            if not sites:
+                continue
+            if len(sites) > scale.max_targets:
+                picks = rng.choice(len(sites), size=scale.max_targets, replace=False)
+                sites = [sites[int(i)] for i in sorted(picks)]
+            specs = build_fault_specs(
+                sites,
+                n_threads=inp.n_threads,
+                masks_per_site=scale.masks_per_site,
+                bit_counts=(1,),
+                # a stable per-class index: str hashing is randomized
+                # per process and would break run-to-run reproducibility
+                seed=scale.seed + 101 * CLASSES.index(cls),
+            )[:trials_cap_per_class]
+            result = campaign.run(specs)
+            t = tallies[cls]
+            t[0] += result.counts.counts[Outcome.FAILURE]
+            t[1] += result.counts.counts[Outcome.UNDETECTED]
+            t[2] += (
+                result.counts.counts[Outcome.MASKED]
+                + result.counts.counts[Outcome.DETECTED_MASKED]
+            )
+            t[3] += result.counts.total
+    rows = []
+    for cls in CLASSES:
+        fail, sdc, masked, total = tallies[cls]
+        n = max(total, 1)
+        rows.append(
+            SensitivityRow(
+                group=group, category=cls,
+                failure=fail / n, sdc=sdc / n, masked=masked / n, trials=total,
+            )
+        )
+    return rows
+
+
+def _cpu_rows(scale: ExperimentScale) -> List[SensitivityRow]:
+    tallies: Dict[str, List[int]] = {s: [0, 0, 0, 0] for s in ("stack", "data", "code")}
+    for builder in (cpu_matmul_program, cpu_sort_program, cpu_checksum_program):
+        campaign = CPUFaultCampaign(builder)
+        result = campaign.run(
+            trials_per_segment=scale.cpu_trials_per_segment, seed=scale.seed
+        )
+        for trial in result.trials:
+            t = tallies[trial.segment]
+            if trial.outcome == "failure":
+                t[0] += 1
+            elif trial.outcome == "sdc":
+                t[1] += 1
+            else:
+                t[2] += 1
+            t[3] += 1
+    rows = []
+    for seg, (fail, sdc, masked, total) in tallies.items():
+        n = max(total, 1)
+        rows.append(
+            SensitivityRow(
+                group="cpu", category=seg,
+                failure=fail / n, sdc=sdc / n, masked=masked / n, trials=total,
+            )
+        )
+    return rows
+
+
+def run_fig01(scale: ExperimentScale = BENCH) -> Fig01Result:
+    result = Fig01Result()
+    cap = scale.max_targets * scale.masks_per_site
+    result.rows.extend(_gpu_rows(HPC_NAMES, "gpu_hpc", scale, cap))
+    result.rows.extend(
+        _gpu_rows(GRAPHICS_NAMES, "gpu_graphics", scale, max(scale.graphics_trials, 1))
+    )
+    result.rows.extend(_cpu_rows(scale))
+    return result
+
+
+def print_fig01(result: Fig01Result) -> None:
+    print_table(
+        "Figure 1 - error sensitivity (crash+hang / SDC / not manifested)",
+        ["program group", "state class", "failure", "SDC", "not manifested", "trials"],
+        [
+            (r.group, r.category, pct(r.failure), pct(r.sdc), pct(r.masked), r.trials)
+            for r in result.rows
+        ],
+    )

@@ -1,0 +1,80 @@
+"""Figure 3 — impact of transient vs intermittent faults on graphics.
+
+(a) a transient fault (one corrupted value in one thread's shading
+computation) corrupts a localized spike of pixels — below the
+user-noticeable threshold; (b) an intermittent fault (a stuck memory
+word in the wave-spectrum input, read by every pixel — the paper
+emulates 10,000 value errors, an ~80us FPU fault) streaks a prominent
+pattern across the frame — a noticeable corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.program import HauberkProgram, RunStatus
+from repro.harness.config import BENCH, ExperimentScale
+from repro.harness.reporting import print_table
+from repro.swifi import FaultSpec, enumerate_targets
+from repro.workloads.graphics import OceanWorkload, frame_corruption_stats
+from repro.workloads.graphics.perceptual import FrameStats
+
+
+@dataclass
+class Fig03Result:
+    transient: FrameStats
+    intermittent: FrameStats
+    transient_noticeable: bool
+    intermittent_noticeable: bool
+
+
+def run_fig03(scale: ExperimentScale = BENCH) -> Fig03Result:
+    wl = OceanWorkload()
+    prog = HauberkProgram(wl)
+    inp = wl.generate_input(0)
+    golden = wl.golden(inp)
+
+    # (a) transient: one single-bit error in one thread's height value
+    sites = [s for s in enumerate_targets(wl.kernel) if s.name == "h" and s.in_loop]
+    spec = FaultSpec(site=sites[0].site, mask=1 << 21, thread=inp.n_threads // 3,
+                     occurrence=2)
+    result = prog.run(mode="fi", inp=inp, fault=spec)
+    assert result.status is RunStatus.OK
+    transient = frame_corruption_stats(result.output, golden)
+
+    # (b) intermittent: a spectrum amplitude stuck with a flipped
+    # exponent bit, read by every pixel of the frame
+    args, handles = wl.setup_memory(prog.device, inp)
+    amp_addr = handles["spectrum"].base + 2  # wave 0 amplitude
+    prog.device.memory.inject_word_fault(amp_addr, 1 << 25)
+    launch = prog.runtime.launch(wl.kernel, inp.grid, inp.block, args,
+                                 budget=wl.hang_budget)
+    corrupted = wl.read_output(prog.device, inp, handles)
+    intermittent = frame_corruption_stats(corrupted, golden)
+
+    return Fig03Result(
+        transient=transient,
+        intermittent=intermittent,
+        transient_noticeable=not wl.spec.check(result.output, golden),
+        intermittent_noticeable=not wl.spec.check(corrupted, golden),
+    )
+
+
+def print_fig03(result: Fig03Result) -> None:
+    print_table(
+        "Figure 3 - fault impact on the ocean-flow frame",
+        ["fault", "corrupted pixels", "fraction", "max dev (8-bit levels)", "noticeable"],
+        [
+            ("transient (1 value)", result.transient.corrupted_pixels,
+             f"{result.transient.corrupted_fraction:.4f}",
+             f"{result.transient.max_deviation_levels:.1f}",
+             result.transient_noticeable),
+            ("intermittent (stuck word)", result.intermittent.corrupted_pixels,
+             f"{result.intermittent.corrupted_fraction:.4f}",
+             f"{result.intermittent.max_deviation_levels:.1f}",
+             result.intermittent_noticeable),
+        ],
+    )

@@ -1,0 +1,48 @@
+"""Figure 4 — percentage of GPU execution time spent in loops.
+
+Observation 4: loops form >98% of GPU time in 5 of 7 programs and 87%
+on average; RPES is the outlier whose sequential (non-loop) preamble
+dominates — the reason its HAUBERK-NL overhead explodes in Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.program import HauberkProgram
+from repro.harness.config import BENCH, ExperimentScale
+from repro.harness.reporting import pct, print_table
+from repro.workloads import get_workload
+
+NAMES = ("CP", "MRI-FHD", "MRI-Q", "PNS", "RPES", "SAD", "TPACF")
+
+
+@dataclass
+class Fig04Result:
+    loop_fraction: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def average(self) -> float:
+        vals = list(self.loop_fraction.values())
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+def run_fig04(scale: ExperimentScale = BENCH) -> Fig04Result:
+    result = Fig04Result()
+    for name in NAMES:
+        wl = get_workload(name, **scale.workload_kwargs.get(name, {}))
+        prog = HauberkProgram(wl)
+        run = prog.run(mode="original", seed=0)
+        result.loop_fraction[name] = run.launch.loop_fraction
+    return result
+
+
+def print_fig04(result: Fig04Result) -> None:
+    rows: List = [(name, pct(frac)) for name, frac in result.loop_fraction.items()]
+    rows.append(("AVG", pct(result.average)))
+    print_table(
+        "Figure 4 - GPU execution time spent on loops",
+        ["benchmark", "loop time"],
+        rows,
+    )

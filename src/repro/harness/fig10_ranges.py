@@ -1,0 +1,102 @@
+"""Figure 10 — value-range distributions of MRI-Q variables.
+
+Every kernel variable's defined values are traced (via the FI hooks in
+observe-only mode) and bucketed by power-of-ten decade with a sign
+split.  The paper's findings to reproduce: most variables have a sharp
+peak (>0.5 of probability mass in one decade for integers, strong
+clustering for FP), and many FP variables show *three correlation
+points* — a negative cluster, a near-zero cluster, and a positive
+cluster of similar magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.bits import decade_of
+from repro.core.program import HauberkProgram
+from repro.harness.config import BENCH, ExperimentScale
+from repro.harness.reporting import print_table
+from repro.swifi.injector import instrument_for_fi
+from repro.swifi.tracing import ValueTraceLibrary
+from repro.workloads import get_workload
+
+
+@dataclass
+class VariableDistribution:
+    name: str
+    cls: str  # "integer" | "fp" | "pointer"
+    n_samples: int
+    #: (sign, decade) -> probability
+    histogram: Dict[Tuple[int, float], float] = field(default_factory=dict)
+
+    @property
+    def peak(self) -> float:
+        """Largest single-bucket probability (the Figure 10 'peak')."""
+        return max(self.histogram.values(), default=0.0)
+
+    @property
+    def correlation_points(self) -> int:
+        """Sign classes carrying at least 5% of the mass (max 3)."""
+        mass = {-1: 0.0, 0: 0.0, 1: 0.0}
+        for (sign, _dec), p in self.histogram.items():
+            mass[sign] += p
+        return sum(1 for v in mass.values() if v >= 0.05)
+
+
+@dataclass
+class Fig10Result:
+    distributions: List[VariableDistribution] = field(default_factory=list)
+
+
+def _bucket(value: float) -> Tuple[int, float]:
+    if abs(value) <= 1e-5:
+        return (0, -math.inf)
+    return (1 if value > 0 else -1, decade_of(value))
+
+
+def run_fig10(scale: ExperimentScale = BENCH, workload: str = "MRI-Q") -> Fig10Result:
+    wl = get_workload(workload, **scale.workload_kwargs.get(workload, {}))
+    prog = HauberkProgram(wl)
+    traced = instrument_for_fi(wl.kernel)
+    tracer = ValueTraceLibrary(wl.kernel, sample_every=1)
+    inp = wl.generate_input(0)
+    args, _handles = wl.setup_memory(prog.device, inp)
+    prog.runtime.launch(traced, inp.grid, inp.block, args, lib=tracer,
+                        budget=wl.hang_budget)
+    result = Fig10Result()
+    classes = {s.name: s.sensitivity_class for s in tracer.sites.values()}
+    for name, values in sorted(tracer.by_name().items()):
+        if not values:
+            continue
+        hist: Dict[Tuple[int, float], int] = {}
+        for v in values:
+            if v != v or math.isinf(v):
+                continue
+            key = _bucket(v)
+            hist[key] = hist.get(key, 0) + 1
+        total = sum(hist.values())
+        if total == 0:
+            continue
+        result.distributions.append(
+            VariableDistribution(
+                name=name,
+                cls=classes.get(name, "fp"),
+                n_samples=total,
+                histogram={k: c / total for k, c in hist.items()},
+            )
+        )
+    return result
+
+
+def print_fig10(result: Fig10Result) -> None:
+    print_table(
+        "Figure 10 - value distributions of kernel variables",
+        ["variable", "class", "samples", "peak bucket prob", "correlation points"],
+        [
+            (d.name, d.cls, d.n_samples, f"{d.peak:.2f}", d.correlation_points)
+            for d in result.distributions
+        ],
+    )

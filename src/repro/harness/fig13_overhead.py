@@ -1,0 +1,142 @@
+"""Figure 13 — performance overhead of every technique per benchmark.
+
+Bars per program: R-Naive, R-Scatter, HAUBERK-NL, HAUBERK-L, HAUBERK,
+all as percent over the uninstrumented baseline.  Paper anchors:
+R-Naive ~100%, R-Scatter ~89% avg with TPACF failing to compile,
+HAUBERK 15.3% avg (8.9% excluding RPES, min 1.9%, max 14.3%), PNS the
+cheapest loop detector (integer), RPES dominated by HAUBERK-NL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines import RNaiveHarness, rscatter_kernel
+from repro.core.program import HauberkProgram
+from repro.core.translator import TranslatorOptions
+from repro.errors import CompileError
+from repro.gpu.runtime import GPURuntime
+from repro.harness.config import BENCH, ExperimentScale
+from repro.harness.reporting import print_table
+from repro.workloads import get_workload
+
+NAMES = ("CP", "MRI-FHD", "MRI-Q", "PNS", "RPES", "SAD", "TPACF")
+
+
+@dataclass
+class OverheadRow:
+    name: str
+    rnaive: float
+    rscatter: Optional[float]  # None = compile failure (TPACF)
+    hauberk_nl: float
+    hauberk_l: float
+    hauberk: float
+
+
+@dataclass
+class Fig13Result:
+    rows: List[OverheadRow] = field(default_factory=list)
+
+    def averages(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for key in ("rnaive", "hauberk_nl", "hauberk_l", "hauberk"):
+            vals = [getattr(r, key) for r in self.rows]
+            out[key] = sum(vals) / len(vals) if vals else 0.0
+        rs = [r.rscatter for r in self.rows if r.rscatter is not None]
+        out["rscatter"] = sum(rs) / len(rs) if rs else 0.0
+        hk = [r.hauberk for r in self.rows if r.name != "RPES"]
+        out["hauberk_excl_rpes"] = sum(hk) / len(hk) if hk else 0.0
+        return out
+
+    def row(self, name: str) -> OverheadRow:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+
+def _overhead(time: float, baseline: float) -> float:
+    return 100.0 * (time / baseline - 1.0)
+
+
+def run_fig13(scale: ExperimentScale = BENCH) -> Fig13Result:
+    result = Fig13Result()
+    for name in NAMES:
+        kwargs = scale.workload_kwargs.get(name, {})
+        inp = None
+
+        def program(options=None):
+            wl = get_workload(name, **kwargs)
+            return HauberkProgram(wl, options=options)
+
+        prog = program()
+        wl = prog.workload
+        inp = wl.generate_input(0)
+        prog.train(seeds=list(scale.training_seeds))
+        baseline = prog.measure_time("original", inp=inp)
+        hauberk = prog.measure_time("ft", inp=inp)
+
+        nl_prog = program(TranslatorOptions(enable_loop=False))
+        t_nl = nl_prog.measure_time("ft", inp=inp)
+
+        l_prog = program(TranslatorOptions(enable_nonloop=False))
+        l_prog.train(seeds=list(scale.training_seeds))
+        t_l = l_prog.measure_time("ft", inp=inp)
+
+        rnaive = RNaiveHarness(wl, prog.device).measure_time(inp)
+
+        rscatter: Optional[float] = None
+        try:
+            rk = rscatter_kernel(wl.kernel, prog.device.spec)
+            args, _handles = wl.setup_memory(prog.device, inp)
+            launch = GPURuntime(prog.device).launch(
+                rk, inp.grid, inp.block, args, budget=wl.hang_budget
+            )
+            rscatter = _overhead(launch.kernel_time, baseline)
+        except CompileError:
+            rscatter = None
+
+        result.rows.append(
+            OverheadRow(
+                name=name,
+                rnaive=_overhead(rnaive, baseline),
+                rscatter=rscatter,
+                hauberk_nl=_overhead(t_nl, baseline),
+                hauberk_l=_overhead(t_l, baseline),
+                hauberk=_overhead(hauberk, baseline),
+            )
+        )
+    return result
+
+
+def print_fig13(result: Fig13Result) -> None:
+    rows = []
+    for r in result.rows:
+        rows.append(
+            (
+                r.name,
+                f"{r.rnaive:.1f}%",
+                "no-compile" if r.rscatter is None else f"{r.rscatter:.1f}%",
+                f"{r.hauberk_nl:.1f}%",
+                f"{r.hauberk_l:.1f}%",
+                f"{r.hauberk:.1f}%",
+            )
+        )
+    avg = result.averages()
+    rows.append(
+        (
+            "AVG",
+            f"{avg['rnaive']:.1f}%",
+            f"{avg['rscatter']:.1f}%",
+            f"{avg['hauberk_nl']:.1f}%",
+            f"{avg['hauberk_l']:.1f}%",
+            f"{avg['hauberk']:.1f}%",
+        )
+    )
+    rows.append(("AVG excl RPES", "", "", "", "", f"{avg['hauberk_excl_rpes']:.1f}%"))
+    print_table(
+        "Figure 13 - performance overhead vs baseline",
+        ["benchmark", "R-Naive", "R-Scatter", "HAUBERK-NL", "HAUBERK-L", "HAUBERK"],
+        rows,
+    )

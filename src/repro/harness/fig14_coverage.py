@@ -1,0 +1,100 @@
+"""Figure 14 — HAUBERK error detection coverage per benchmark x error bits.
+
+Stacked outcome fractions (failure / masked / detected&masked /
+detected / undetected) for error-bit counts {1,3,6,10,15} on each
+benchmark running the FI&FT build with trained detectors.  Paper
+anchors: ~86.8% average coverage (13.2% escapes); for single-bit
+errors 35.6% masked, 11.0% failure, 21.4% detected, 22.2% detected &
+masked, 9.8% undetected; multi-bit errors raise failures and lower
+masking; CP's coverage can *drop* at high bit counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.program import HauberkProgram
+from repro.harness.config import BENCH, ExperimentScale
+from repro.harness.reporting import pct, print_table
+from repro.swifi import Campaign, build_fault_specs, select_targets
+from repro.swifi.outcomes import Outcome, OutcomeCounts
+from repro.workloads import get_workload
+
+import numpy as np
+
+NAMES = ("CP", "MRI-FHD", "MRI-Q", "PNS", "RPES", "SAD", "TPACF")
+
+
+@dataclass
+class Fig14Result:
+    #: (benchmark, n_bits) -> outcome tally
+    cells: Dict[Tuple[str, int], OutcomeCounts] = field(default_factory=dict)
+
+    def average_coverage(self, n_bits: int = None) -> float:
+        cells = [
+            c for (name, bits), c in self.cells.items()
+            if n_bits is None or bits == n_bits
+        ]
+        if not cells:
+            return 0.0
+        return sum(c.coverage for c in cells) / len(cells)
+
+    def fraction(self, outcome: Outcome, n_bits: int) -> float:
+        cells = [c for (n, b), c in self.cells.items() if b == n_bits]
+        if not cells:
+            return 0.0
+        return sum(c.fraction(outcome) for c in cells) / len(cells)
+
+
+def run_fig14(
+    scale: ExperimentScale = BENCH, names: Tuple[str, ...] = NAMES
+) -> Fig14Result:
+    result = Fig14Result()
+    rng = np.random.default_rng(scale.seed + 14)
+    for name in names:
+        wl = get_workload(name, **scale.workload_kwargs.get(name, {}))
+        prog = HauberkProgram(wl)
+        # the paper evaluates coverage "when the same input data set is
+        # used for training and test runs" (Section IX.B)
+        prog.train(seeds=[0])
+        inp = wl.generate_input(0)
+        runner = prog.trial_runner("fift")
+        campaign = Campaign(runner)
+        sites = select_targets(wl.kernel, scale.max_targets, rng)
+        for bits in scale.bit_counts:
+            specs = build_fault_specs(
+                sites,
+                n_threads=inp.n_threads,
+                masks_per_site=scale.masks_per_site,
+                bit_counts=(bits,),
+                seed=scale.seed + bits,
+            )
+            cell = campaign.run(specs)
+            result.cells[(name, bits)] = cell.counts
+    return result
+
+
+def print_fig14(result: Fig14Result) -> None:
+    rows: List = []
+    for (name, bits), counts in sorted(result.cells.items()):
+        rows.append(
+            (
+                name,
+                bits,
+                pct(counts.fraction(Outcome.FAILURE)),
+                pct(counts.fraction(Outcome.MASKED)),
+                pct(counts.fraction(Outcome.DETECTED_MASKED)),
+                pct(counts.fraction(Outcome.DETECTED)),
+                pct(counts.fraction(Outcome.UNDETECTED)),
+                pct(counts.coverage),
+            )
+        )
+    rows.append(("AVG (all)", "-", "", "", "", "", "",
+                 pct(result.average_coverage())))
+    print_table(
+        "Figure 14 - HAUBERK outcome fractions by benchmark and error bits",
+        ["benchmark", "bits", "failure", "masked", "det&masked", "detected",
+         "undetected", "coverage"],
+        rows,
+    )

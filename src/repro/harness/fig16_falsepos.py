@@ -1,0 +1,97 @@
+"""Figure 16 — false-positive ratio vs number of training sets.
+
+Protocol (Section IX.C): from 52 datasets per program, train the loop
+detectors on k randomly chosen sets and evaluate the alarm rate on 2
+held-out sets; repeat and average.  Paper anchors: PNS falls to ~0
+after 7 training sets; CP and TPACF converge below 10%; MRI-FHD stays
+~30% even after 50 sets at alpha=1, and the right panel shows larger
+alpha (2/10/100) collapsing MRI-FHD's ratio within a few sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.program import HauberkProgram, RunStatus
+from repro.harness.config import BENCH, ExperimentScale
+from repro.harness.reporting import pct, print_table
+from repro.workloads import get_workload
+
+PROGRAMS = ("CP", "MRI-FHD", "PNS", "TPACF")
+DATASETS = 52
+MRIFHD_ALPHAS = (1.0, 2.0, 10.0, 100.0)
+
+
+@dataclass
+class Fig16Result:
+    #: (program, alpha, training_count) -> false-positive ratio
+    ratios: Dict[Tuple[str, float, int], float] = field(default_factory=dict)
+
+    def series(self, program: str, alpha: float = 1.0) -> Dict[int, float]:
+        return {
+            k: v for (p, a, k), v in self.ratios.items()
+            if p == program and a == alpha
+        }
+
+
+def _false_positive_ratio(
+    name: str,
+    kwargs: dict,
+    train_seeds: Sequence[int],
+    eval_seeds: Sequence[int],
+    alphas: Sequence[float],
+) -> Dict[float, float]:
+    wl = get_workload(name, **kwargs)
+    prog = HauberkProgram(wl)
+    prog.train(seeds=list(train_seeds))
+    out: Dict[float, float] = {}
+    for alpha in alphas:
+        prog.cb.set_alpha_all(alpha)
+        alarms = 0
+        for seed in eval_seeds:
+            result = prog.run(mode="ft", seed=seed)
+            if result.status is not RunStatus.OK:
+                raise RuntimeError(f"{name} fault-free ft run failed")
+            alarms += bool(result.alarm)
+        out[alpha] = alarms / len(eval_seeds)
+    return out
+
+
+def run_fig16(
+    scale: ExperimentScale = BENCH, programs: Tuple[str, ...] = PROGRAMS
+) -> Fig16Result:
+    rng = np.random.default_rng(scale.seed + 16)
+    result = Fig16Result()
+    reps = max(1, scale.fig16_eval_runs // 2)
+    for name in programs:
+        kwargs = scale.workload_kwargs.get(name, {})
+        alphas = MRIFHD_ALPHAS if name == "MRI-FHD" else (1.0,)
+        for k in scale.fig16_training_counts:
+            tallies = {a: [] for a in alphas}
+            for _rep in range(reps):
+                picks = rng.permutation(DATASETS)
+                train_seeds = [int(s) for s in picks[:k]]
+                eval_seeds = [int(s) for s in picks[k : k + 2]]
+                ratios = _false_positive_ratio(
+                    name, kwargs, train_seeds, eval_seeds, alphas
+                )
+                for a, r in ratios.items():
+                    tallies[a].append(r)
+            for a, vals in tallies.items():
+                result.ratios[(name, a, k)] = float(np.mean(vals))
+    return result
+
+
+def print_fig16(result: Fig16Result) -> None:
+    rows = [
+        (p, a, k, pct(v))
+        for (p, a, k), v in sorted(result.ratios.items())
+    ]
+    print_table(
+        "Figure 16 - false-positive ratio vs training sets",
+        ["program", "alpha", "training sets", "false-positive ratio"],
+        rows,
+    )

@@ -1,0 +1,37 @@
+"""Plain-text tables and series for the figure drivers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Monospace table with a title rule."""
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    lines = [title, "=" * len(title)]
+    lines.append(sep.join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    print(format_table(title, headers, rows))
+    print()
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def pct(fraction: float) -> str:
+    """Render a [0,1] fraction as a percentage cell."""
+    return f"{100.0 * fraction:5.1f}%"

@@ -1,0 +1,90 @@
+"""Section IX.D — HAUBERK instrumentation time and Table I audit.
+
+The paper measures instrumentation (translator) time per Parboil
+program — 0.7 s average for the transformation proper — and argues the
+cost is negligible against compilation.  This driver times our
+translator's FT build per workload and audits that every Table I
+instrumentation site is present in the built kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.audit import audit_build
+from repro.core.translator import HauberkTranslator
+from repro.harness.config import BENCH, ExperimentScale
+from repro.harness.reporting import print_table
+from repro.kir.printer import kernel_to_source
+from repro.workloads import get_workload
+
+NAMES = ("CP", "MRI-FHD", "MRI-Q", "PNS", "RPES", "SAD", "TPACF")
+
+
+@dataclass
+class InstrumentationRow:
+    name: str
+    kernel_lines: int
+    ft_lines: int
+    ft_seconds: float
+    fi_seconds: float
+    detectors: int
+    duplicated_defs: int
+    #: Table I structural audit verdicts for the FT and FI builds.
+    audit_ok: bool = True
+
+
+@dataclass
+class Sec9dResult:
+    rows: List[InstrumentationRow] = field(default_factory=list)
+
+    @property
+    def avg_seconds(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(r.ft_seconds for r in self.rows) / len(self.rows)
+
+    @property
+    def max_seconds(self) -> float:
+        return max((r.ft_seconds for r in self.rows), default=0.0)
+
+
+def run_sec9d(scale: ExperimentScale = BENCH) -> Sec9dResult:
+    translator = HauberkTranslator()
+    result = Sec9dResult()
+    for name in NAMES:
+        wl = get_workload(name, **scale.workload_kwargs.get(name, {}))
+        ft = translator.build(wl.kernel, "ft")
+        fi = translator.build(wl.kernel, "fi")
+        audit_ok = audit_build(wl.kernel, ft).ok and audit_build(wl.kernel, fi).ok
+        result.rows.append(
+            InstrumentationRow(
+                name=name,
+                kernel_lines=len(kernel_to_source(wl.kernel).splitlines()),
+                ft_lines=len(kernel_to_source(ft.kernel).splitlines()),
+                ft_seconds=ft.instrumentation_time,
+                fi_seconds=fi.instrumentation_time,
+                detectors=len(ft.detector_configs),
+                duplicated_defs=(
+                    ft.nonloop_info.duplicated_definitions if ft.nonloop_info else 0
+                ),
+                audit_ok=audit_ok,
+            )
+        )
+    return result
+
+
+def print_sec9d(result: Sec9dResult) -> None:
+    rows = [
+        (r.name, r.kernel_lines, r.ft_lines, f"{r.ft_seconds * 1e3:.1f}ms",
+         f"{r.fi_seconds * 1e3:.1f}ms", r.detectors, r.duplicated_defs, r.audit_ok)
+        for r in result.rows
+    ]
+    rows.append(("AVG", "", "", f"{result.avg_seconds * 1e3:.1f}ms", "", "", "", ""))
+    print_table(
+        "Section IX.D - instrumentation time",
+        ["benchmark", "kernel lines", "FT lines", "FT build", "FI build",
+         "loop detectors", "duplicated defs", "audit"],
+        rows,
+    )

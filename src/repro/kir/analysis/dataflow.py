@@ -1,0 +1,233 @@
+"""Virtual-variable site table and read/write set computation.
+
+A *virtual variable* (paper Section V.A) is "a subset of the live range
+of program state where the subset has one definition and multiple
+uses" — i.e. one defining statement.  Kernel parameters are also
+virtual variables (checksummed at entry/exit without duplication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import KIRValidationError
+from repro.kir.astnodes import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Call,
+    CallStmt,
+    Const,
+    Decl,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Load,
+    SharedLoad,
+    SharedStore,
+    Stmt,
+    Store,
+    Var,
+    While,
+    walk_exprs,
+    walk_stmts,
+    child_exprs,
+)
+from repro.kir.types import DType
+
+
+@dataclass
+class SiteInfo:
+    """Metadata for one virtual-variable definition site."""
+
+    site: int
+    name: str
+    dtype: DType
+    kind: str  # "param" | "decl" | "assign"
+    stmt: Optional[Stmt]
+    in_loop: bool
+    loop_id: int
+    #: Names read by the defining expression (empty for params).
+    reads: Set[str] = field(default_factory=set)
+    #: Number of memory loads in the defining expression.
+    n_loads: int = 0
+    #: Number of operator nodes in the defining expression (the paper's
+    #: "temporary variables" for compound definitions, Figure 9).
+    n_ops: int = 0
+    #: True for ``x = x + e`` style accumulation of an outer variable.
+    self_accumulating: bool = False
+
+    @property
+    def sensitivity_class(self) -> str:
+        return self.dtype.sensitivity_class
+
+
+def names_read_expr(e: Expr) -> Set[str]:
+    """All variable names read by an expression."""
+    return {node.name for node in walk_exprs(e) if isinstance(node, Var)}
+
+
+def count_loads(e: Expr) -> int:
+    return sum(1 for node in walk_exprs(e) if isinstance(node, (Load, SharedLoad)))
+
+
+def count_ops(e: Expr) -> int:
+    from repro.kir.astnodes import UnOp
+
+    return sum(1 for node in walk_exprs(e) if isinstance(node, (BinOp, UnOp, Call)))
+
+
+def names_read_stmt(stmt: Stmt) -> Set[str]:
+    """All variable names read (transitively) by a statement."""
+    names: Set[str] = set()
+    for e in child_exprs(stmt):
+        names |= names_read_expr(e)
+    if isinstance(stmt, For):
+        if stmt.init is not None:
+            names |= names_read_expr(stmt.init.init)
+        if stmt.update is not None:
+            names |= names_read_expr(stmt.update.value)
+    for block in _blocks_of(stmt):
+        for s in block:
+            names |= names_read_stmt(s)
+    return names
+
+
+def names_written_stmt(stmt: Stmt) -> Set[str]:
+    """All variable names written (transitively) by a statement."""
+    names: Set[str] = set()
+    if isinstance(stmt, Decl):
+        names.add(stmt.name)
+    elif isinstance(stmt, Assign):
+        names.add(stmt.name)
+    elif isinstance(stmt, For):
+        if stmt.init is not None:
+            names.add(stmt.init.name)
+        if stmt.update is not None:
+            names.add(stmt.update.name)
+    for block in _blocks_of(stmt):
+        for s in block:
+            names |= names_written_stmt(s)
+    return names
+
+
+def _blocks_of(stmt: Stmt):
+    if isinstance(stmt, For):
+        return [stmt.body]
+    if isinstance(stmt, While):
+        return [stmt.body]
+    if isinstance(stmt, If):
+        return [stmt.then, stmt.els]
+    return []
+
+
+def is_self_accumulating(stmt: Stmt, outer_names: Set[str]) -> bool:
+    """True for an accumulation of a variable declared outside the loop.
+
+    The paper harvests these for free (loop-detector step i): an
+    ``x = x + e`` / ``x = e + x`` / ``x = x - e`` assignment whose
+    target is declared outside the loop already carries an
+    accumulated value that survives the loop.
+    """
+    if not isinstance(stmt, Assign):
+        return False
+    if stmt.name not in outer_names:
+        return False
+    v = stmt.value
+    if not isinstance(v, BinOp) or v.op not in ("+", "-"):
+        return False
+    if isinstance(v.left, Var) and v.left.name == stmt.name:
+        return True
+    if v.op == "+" and isinstance(v.right, Var) and v.right.name == stmt.name:
+        return True
+    return False
+
+
+def collect_sites(kernel: Kernel) -> List[SiteInfo]:
+    """Site table for a validated kernel, ordered by site id."""
+    if not kernel.validated:
+        raise KIRValidationError("kernel must be validated before analysis")
+    sites: Dict[int, SiteInfo] = {}
+    for p in kernel.params:
+        sites[p.site] = SiteInfo(
+            site=p.site,
+            name=p.name,
+            dtype=p.dtype,
+            kind="param",
+            stmt=None,
+            in_loop=False,
+            loop_id=-1,
+        )
+    # Track, per loop id, which names are declared outside it; needed for
+    # self-accumulator detection.  Build the declared-before map lazily.
+    decl_positions: Dict[str, int] = {p.name: -1 for p in kernel.params}
+    order = list(walk_stmts(kernel.body))
+    for pos, (stmt, _depth) in enumerate(order):
+        if isinstance(stmt, Decl) and stmt.name not in decl_positions:
+            decl_positions[stmt.name] = pos
+    loop_spans = _loop_spans(order)
+    for pos, (stmt, _depth) in enumerate(order):
+        if not isinstance(stmt, (Decl, Assign)) or stmt.site < 0:
+            continue
+        if stmt.site in sites:
+            continue
+        if isinstance(stmt, Decl):
+            dtype = stmt.var_dtype
+            kind = "decl"
+            rhs = stmt.init
+        else:
+            dtype = _lookup_dtype(kernel, stmt.name)
+            kind = "assign"
+            rhs = stmt.value
+        outer_names = _names_declared_outside(stmt, decl_positions, loop_spans, pos)
+        sites[stmt.site] = SiteInfo(
+            site=stmt.site,
+            name=stmt.name,
+            dtype=dtype,
+            kind=kind,
+            stmt=stmt,
+            in_loop=stmt.in_loop,
+            loop_id=stmt.loop_id,
+            reads=names_read_expr(rhs),
+            n_loads=count_loads(rhs),
+            n_ops=count_ops(rhs),
+            self_accumulating=stmt.in_loop and is_self_accumulating(stmt, outer_names),
+        )
+    return [sites[i] for i in sorted(sites)]
+
+
+def _lookup_dtype(kernel: Kernel, name: str) -> DType:
+    """Resolve the declared type of an assigned name."""
+    for p in kernel.params:
+        if p.name == name:
+            return p.dtype
+    for stmt, _ in walk_stmts(kernel.body):
+        if isinstance(stmt, Decl) and stmt.name == name:
+            return stmt.var_dtype
+    raise KIRValidationError(f"cannot resolve type of {name!r}")
+
+
+def _loop_spans(order) -> Dict[int, range]:
+    """Map loop id -> range of walk positions covered by the loop.
+
+    ``walk_stmts`` yields a loop statement immediately followed by all
+    of its descendants, so each loop's span is contiguous.
+    """
+    spans: Dict[int, range] = {}
+    for pos, (stmt, _depth) in enumerate(order):
+        if isinstance(stmt, (For, While)):
+            n_descendants = len(list(walk_stmts([stmt])))
+            spans[stmt.loop_id] = range(pos, pos + n_descendants)
+    return spans
+
+
+def _names_declared_outside(
+    stmt: Stmt, decl_positions: Dict[str, int], loop_spans: Dict[int, range], pos: int
+) -> Set[str]:
+    """Names whose declaration lies outside the statement's innermost loop."""
+    if stmt.loop_id < 0 or stmt.loop_id not in loop_spans:
+        return set(decl_positions)
+    span = loop_spans[stmt.loop_id]
+    return {name for name, dpos in decl_positions.items() if dpos not in span}

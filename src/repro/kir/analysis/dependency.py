@@ -1,0 +1,194 @@
+"""Cumulative backward dataflow dependency — the Figure 9 metric.
+
+For a loop, Hauberk selects the virtual variable whose computation
+"directly or indirectly uses many other variables" so that errors in
+those variables propagate into the protected one (Principle 2).  The
+paper's count includes virtual variables defined inside the loop,
+temporary variables of compound expressions, and memory-load data, but
+excludes constants and variables already protected by non-loop error
+detectors (i.e. defined outside the loop).
+
+Our metric for a site ``s`` in loop ``L``::
+
+    CBD(s) = sum over reachable in-loop sites r (r != s, backward
+             transitive closure over in-loop def-use edges) of
+             (1 + n_ops(r) + n_loads(r))  +  n_ops(s) + n_loads(s)
+
+``n_ops`` counts operator nodes (the paper's T1..T9 temporaries) and
+``n_loads`` memory loads.  The absolute value differs from hand-drawn
+Figure 9 by a small constant, but the *ordering* — which drives target
+selection — matches; the Figure 9 bench asserts the paper's choice
+(energyx2 over energyx1 for the CP loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import KIRValidationError
+from repro.kir.astnodes import Kernel
+from repro.kir.analysis.dataflow import SiteInfo, collect_sites
+from repro.kir.analysis.loops import LoopInfo, find_loops
+
+
+@dataclass
+class DependencyGraph:
+    """Def-use graph restricted to one loop's virtual variables."""
+
+    loop_id: int
+    #: In-loop sites by id.
+    sites: Dict[int, SiteInfo]
+    #: edges[s] = set of in-loop site ids whose values feed site s.
+    edges: Dict[int, Set[int]]
+
+    def backward_closure(self, site: int) -> Set[int]:
+        """All in-loop sites reachable backwards from ``site`` (excl. self)."""
+        seen: Set[int] = set()
+        frontier = list(self.edges.get(site, ()))
+        while frontier:
+            s = frontier.pop()
+            if s in seen or s == site:
+                continue
+            seen.add(s)
+            frontier.extend(self.edges.get(s, ()))
+        return seen
+
+    def forward_dependents(self, site: int) -> Set[int]:
+        """All in-loop sites whose values (transitively) use ``site``."""
+        out: Set[int] = set()
+        for s in self.sites:
+            if s != site and site in self.backward_closure(s) | self.edges.get(s, set()):
+                out.add(s)
+        return out
+
+
+def _descendant_loop_ids(loop: LoopInfo, loops: Dict[int, LoopInfo]) -> Set[int]:
+    """The loop's own id plus all transitively nested loop ids."""
+    out: Set[int] = {loop.loop_id}
+    stack = list(loop.children)
+    while stack:
+        lid = stack.pop()
+        out.add(lid)
+        stack.extend(loops[lid].children)
+    return out
+
+
+def build_loop_dependency_graph(kernel: Kernel, loop: LoopInfo) -> DependencyGraph:
+    """Def-use graph over the virtual variables defined inside ``loop``."""
+    all_sites = collect_sites(kernel)
+    inner_ids = _descendant_loop_ids(loop, find_loops(kernel))
+    in_loop_ids = {s.site for s in all_sites if s.loop_id in inner_ids}
+    sites = {s.site: s for s in all_sites if s.site in in_loop_ids}
+    # Map each name to the in-loop sites defining it; a use of that name
+    # inside the loop may see any of them (conservative reaching defs).
+    defs_by_name: Dict[str, Set[int]] = {}
+    for s in sites.values():
+        defs_by_name.setdefault(s.name, set()).add(s.site)
+    edges: Dict[int, Set[int]] = {}
+    for s in sites.values():
+        feeding: Set[int] = set()
+        for name in s.reads:
+            feeding |= defs_by_name.get(name, set())
+        feeding.discard(s.site)
+        edges[s.site] = feeding
+    return DependencyGraph(loop_id=loop.loop_id, sites=sites, edges=edges)
+
+
+def cumulative_backward_dependency(graph: DependencyGraph, site: int) -> int:
+    """The Figure 9 score for one in-loop site (see module docstring)."""
+    if site not in graph.sites:
+        raise KIRValidationError(f"site {site} is not defined in loop {graph.loop_id}")
+    score = graph.sites[site].n_ops + graph.sites[site].n_loads
+    for r in graph.backward_closure(site):
+        info = graph.sites[r]
+        score += 1 + info.n_ops + info.n_loads
+    return score
+
+
+@dataclass
+class LoopTargetSelection:
+    """Result of the loop-detector target selection (Section V.B step i)."""
+
+    loop_id: int
+    #: Selected sites in selection order; self-accumulators first.
+    selected: List[SiteInfo] = field(default_factory=list)
+    #: Scores for the non-self-accumulating candidates considered.
+    scores: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def selected_names(self) -> List[str]:
+        return [s.name for s in self.selected]
+
+
+def select_loop_targets(
+    kernel: Kernel, loop: LoopInfo, maxvar: int = 1
+) -> LoopTargetSelection:
+    """Select up to ``maxvar`` virtual variables to protect in ``loop``.
+
+    Follows the paper exactly:
+
+    1. take self-accumulating virtual variables first (free protection;
+       they count against ``maxvar``);
+    2. drop variables with forward dataflow dependency to the selected
+       ones (their errors already propagate into a protected value);
+    3. among the remainder pick the largest cumulative backward
+       dataflow dependency; repeat while ``maxvar`` allows, removing
+       each pick and its forward dependents.
+    """
+    graph = build_loop_dependency_graph(kernel, loop)
+    result = LoopTargetSelection(loop_id=loop.loop_id)
+    remaining = set(graph.sites)
+
+    def protectable(site_id: int) -> bool:
+        # Only numeric scalars can be accumulated and range-checked.
+        return graph.sites[site_id].dtype.is_numeric
+
+    # Step 1: self-accumulators, largest cumulative backward dependency
+    # first (Figure 9 picks energyx2, CBD 13, over energyx1, CBD 12).
+    self_accs = [
+        s for s in sorted(remaining)
+        if graph.sites[s].self_accumulating and protectable(s)
+    ]
+    for s in self_accs:
+        result.scores[s] = cumulative_backward_dependency(graph, s)
+    self_accs.sort(key=lambda s: (-result.scores[s], s))
+    for s in self_accs:
+        if len(result.selected) >= maxvar:
+            break
+        if s not in remaining:
+            continue  # dropped as a forward dependent of an earlier pick
+        result.selected.append(graph.sites[s])
+        remaining.discard(s)
+        # drop the feeders of the pick: errors in them propagate into
+        # the protected value ("forward dataflow dependency to the
+        # selected", Section V.B step i)
+        for d in graph.backward_closure(s):
+            remaining.discard(d)
+
+    # Steps 2-3: greedy largest-CBD selection.
+    while len(result.selected) < maxvar and remaining:
+        candidates = [s for s in remaining if protectable(s)]
+        if not candidates:
+            break
+        for s in candidates:
+            result.scores.setdefault(s, cumulative_backward_dependency(graph, s))
+        best = max(candidates, key=lambda s: (result.scores[s], -s))
+        if result.scores[best] == 0 and result.selected:
+            # nothing left that covers other state; stop early
+            break
+        result.selected.append(graph.sites[best])
+        remaining.discard(best)
+        for d in graph.backward_closure(best):
+            remaining.discard(d)
+    return result
+
+
+def select_all_loop_targets(kernel: Kernel, maxvar: int = 1) -> Dict[int, LoopTargetSelection]:
+    """Target selection for every top-level loop of the kernel."""
+    loops = find_loops(kernel)
+    return {
+        lid: select_loop_targets(kernel, info, maxvar)
+        for lid, info in loops.items()
+        if info.parent is None
+    }

@@ -1,0 +1,208 @@
+"""Loop-nest discovery and static trip-count derivation.
+
+The loop detector checks the accumulation counter against a derived
+iteration-count invariant (Section V.B step iii/iv): "often, we can
+calculate the loop iteration count (e.g. loop iteration count is MAX
+for ``for(int i=0; i<MAX; i++)``)".  ``derive_trip_count`` recognizes
+the affine-for pattern and returns an expression for the count that is
+evaluated *before* the loop, or ``None`` when the count cannot be
+derived (e.g. the bound is written inside the body, or data-dependent
+``break``/``while`` control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kir.astnodes import (
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Const,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Return,
+    Stmt,
+    Var,
+    While,
+)
+from repro.kir.analysis.dataflow import names_read_expr, names_written_stmt
+
+
+@dataclass
+class LoopInfo:
+    """One loop in a kernel's loop forest."""
+
+    loop_id: int
+    stmt: Stmt  # the For/While node
+    depth: int  # 0 = top-level loop
+    parent: Optional[int]
+    is_for: bool
+    iter_var: Optional[str]
+    #: Expression computing the trip count before loop entry, if derivable.
+    trip_count: Optional[Expr]
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def body(self) -> List[Stmt]:
+        return self.stmt.body
+
+
+def _contains_early_exit(body: List[Stmt]) -> bool:
+    """True if the loop body can leave the loop before the condition fails."""
+    for stmt in body:
+        if isinstance(stmt, (Break, Return)):
+            return True
+        if isinstance(stmt, If):
+            if _contains_early_exit(stmt.then) or _contains_early_exit(stmt.els):
+                return True
+        # nested loops capture their own breaks; do not recurse into them
+    return False
+
+
+def _affine_step(update: Assign, it: str) -> Optional[int]:
+    """Signed constant step of ``i = i + c`` / ``i = i - c``, else None."""
+    v = update.value
+    if update.name != it or not isinstance(v, BinOp) or v.op not in ("+", "-"):
+        return None
+    if isinstance(v.left, Var) and v.left.name == it and isinstance(v.right, Const):
+        step = v.right.value
+        if v.op == "-":
+            step = -step
+        return step if isinstance(step, int) else None
+    if (
+        v.op == "+"
+        and isinstance(v.right, Var)
+        and v.right.name == it
+        and isinstance(v.left, Const)
+        and isinstance(v.left.value, int)
+    ):
+        return v.left.value
+    return None
+
+
+def _iterator_bounds(cond: Expr, it: str) -> Optional[Tuple[str, Expr]]:
+    """Normalize a loop condition to (comparison-op, bound) on the iterator.
+
+    Handles ``i < B`` / ``i <= B`` / ``i > B`` / ``i >= B`` and the
+    conjunction form the paper calls out — ``i < A && i < B`` derives
+    ``min(A, B)`` (Section V.B: "for a loop for(int x=0,y=0; x<A &&
+    y<B; ...) the loop iteration count is the minimum of A and B").
+    """
+    if isinstance(cond, BinOp) and cond.op == "&&":
+        left = _iterator_bounds(cond.left, it)
+        right = _iterator_bounds(cond.right, it)
+        if left is None or right is None or left[0] != right[0]:
+            return None
+        op = left[0]
+        pick = "min" if op in ("<", "<=") else "max"
+        return op, Call(pick, [left[1], right[1]])
+    if not isinstance(cond, BinOp) or cond.op not in ("<", "<=", ">", ">="):
+        return None
+    if isinstance(cond.left, Var) and cond.left.name == it:
+        return cond.op, cond.right
+    # flipped spelling: B > i  <=>  i < B
+    if isinstance(cond.right, Var) and cond.right.name == it:
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        return flip[cond.op], cond.left
+    return None
+
+
+def derive_trip_count(loop: For) -> Optional[Expr]:
+    """Trip-count expression for an affine for loop, else ``None``.
+
+    Recognized shapes (Section V.B step iii):
+
+    * ``for (int i = start; i < bound; i += step)`` with constant
+      positive step (also ``<=``, and ``bound > i`` spellings);
+    * decreasing loops ``for (int i = start; i > bound; i -= step)``
+      (also ``>=``);
+    * conjunction bounds ``i < A && i < B`` -> ``min(A, B)``;
+
+    provided neither the iterator nor any variable in ``start``/the
+    bound is written in the body, and the body cannot exit early.
+    The returned expression uses C integer arithmetic, clamped at zero.
+    """
+    if loop.init is None or loop.update is None or loop.cond is None:
+        return None
+    it = loop.init.name
+    normalized = _iterator_bounds(loop.cond, it)
+    if normalized is None:
+        return None
+    op, bound = normalized
+    step = _affine_step(loop.update, it)
+    if step is None or step == 0:
+        return None
+    increasing = step > 0
+    if increasing and op not in ("<", "<="):
+        return None
+    if not increasing and op not in (">", ">="):
+        return None
+    written = names_written_stmt(loop) - {it}
+    invariants = names_read_expr(bound) | names_read_expr(loop.init.init)
+    if invariants & written:
+        return None
+    if _contains_early_exit(loop.body):
+        return None
+    start = loop.init.init
+    if increasing:
+        span: Expr = BinOp("-", bound, start)
+    else:
+        span = BinOp("-", start, bound)
+        step = -step
+    if op in ("<=", ">="):
+        span = BinOp("+", span, Const(1))
+    if step != 1:
+        span = BinOp("/", BinOp("+", span, Const(step - 1)), Const(step))
+    return Call("max", [span, Const(0)])
+
+
+def find_loops(kernel: Kernel) -> Dict[int, LoopInfo]:
+    """All loops in a validated kernel, keyed by loop id."""
+    loops: Dict[int, LoopInfo] = {}
+
+    def visit(body: List[Stmt], depth: int, parent: Optional[int]) -> None:
+        for stmt in body:
+            if isinstance(stmt, For):
+                info = LoopInfo(
+                    loop_id=stmt.loop_id,
+                    stmt=stmt,
+                    depth=depth,
+                    parent=parent,
+                    is_for=True,
+                    iter_var=stmt.init.name if stmt.init is not None else None,
+                    trip_count=derive_trip_count(stmt),
+                )
+                loops[stmt.loop_id] = info
+                if parent is not None:
+                    loops[parent].children.append(stmt.loop_id)
+                visit(stmt.body, depth + 1, stmt.loop_id)
+            elif isinstance(stmt, While):
+                info = LoopInfo(
+                    loop_id=stmt.loop_id,
+                    stmt=stmt,
+                    depth=depth,
+                    parent=parent,
+                    is_for=False,
+                    iter_var=None,
+                    trip_count=None,
+                )
+                loops[stmt.loop_id] = info
+                if parent is not None:
+                    loops[parent].children.append(stmt.loop_id)
+                visit(stmt.body, depth + 1, stmt.loop_id)
+            elif isinstance(stmt, If):
+                visit(stmt.then, depth, parent)
+                visit(stmt.els, depth, parent)
+    visit(kernel.body, 0, None)
+    return loops
+
+
+def top_level_loops(kernel: Kernel) -> List[LoopInfo]:
+    """Loops not nested in another loop, in program order."""
+    loops = find_loops(kernel)
+    return [info for info in loops.values() if info.parent is None]

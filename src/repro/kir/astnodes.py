@@ -1,0 +1,397 @@
+"""AST node definitions for KIR.
+
+Nodes are plain mutable dataclasses.  Two pieces of derived metadata
+are filled in by :func:`repro.kir.validate.validate_kernel`:
+
+* every expression gets a static ``dtype``;
+* every *defining* statement (``Decl``, ``Assign``, loop init/update)
+  gets a ``site`` id — the paper's **virtual variable**: "a subset of
+  the live range of program state where the subset has one definition
+  and multiple uses" (Section V.A).  Fault-injection targets, the
+  profiler, and both detectors all key off site ids.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.kir.types import DType
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class of all KIR expressions."""
+
+    #: Static type, assigned by validation.
+    dtype: Optional[DType] = field(default=None, init=False, repr=False, compare=False)
+
+
+@dataclass
+class Const(Expr):
+    """Literal constant (int, float, or str for library-call arguments)."""
+
+    value: object = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, bool):
+            self.value = int(self.value)
+
+
+@dataclass
+class Var(Expr):
+    """Reference to a local variable or kernel parameter."""
+
+    name: str = ""
+
+
+@dataclass
+class SpecialReg(Expr):
+    """CUDA special register: threadIdx.x, blockIdx.y, blockDim.x, ..."""
+
+    name: str = "threadIdx.x"
+
+    VALID = (
+        "threadIdx.x",
+        "threadIdx.y",
+        "blockIdx.x",
+        "blockIdx.y",
+        "blockDim.x",
+        "blockDim.y",
+        "gridDim.x",
+        "gridDim.y",
+    )
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operation with C semantics."""
+
+    op: str = "+"
+    left: Expr = None
+    right: Expr = None
+
+    ARITH = ("+", "-", "*", "/", "%")
+    COMPARE = ("<", "<=", ">", ">=", "==", "!=")
+    LOGICAL = ("&&", "||")
+    BITWISE = ("&", "|", "^", "<<", ">>")
+
+
+@dataclass
+class UnOp(Expr):
+    """Unary operation: arithmetic negate, logical not, bitwise not."""
+
+    op: str = "-"
+    operand: Expr = None
+
+    VALID = ("-", "!", "~")
+
+
+@dataclass
+class Call(Expr):
+    """Intrinsic function call (sqrt, sin, min, casts, ...)."""
+
+    func: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Load(Expr):
+    """Global-memory load: ``ptr[index]``."""
+
+    ptr: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class SharedLoad(Expr):
+    """Shared-memory load: ``name[index]`` for a declared shared array."""
+
+    array: str = ""
+    index: Expr = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class of all KIR statements.
+
+    ``site`` is the virtual-variable id for defining statements (-1
+    otherwise).  ``in_loop`` / ``loop_id`` locate the statement in the
+    loop nest; both are filled by validation and used for cycle
+    attribution (Figure 4) and detector placement.
+    """
+
+    site: int = field(default=-1, init=False, repr=False, compare=False)
+    in_loop: bool = field(default=False, init=False, repr=False, compare=False)
+    loop_id: int = field(default=-1, init=False, repr=False, compare=False)
+    #: Cycle-cost multiplier.  Instrumentation passes set this below 1
+    #: for statements that are data-independent of the original code
+    #: (duplicates, checksum updates) and therefore dual-issue into
+    #: scheduler slack on a real GPU.
+    cost_scale: float = field(default=1.0, init=False, repr=False, compare=False)
+
+
+@dataclass
+class Decl(Stmt):
+    """Declaration with initializer: ``float x = expr;`` — a definition."""
+
+    name: str = ""
+    var_dtype: DType = DType.FLOAT32
+    init: Expr = None
+
+
+@dataclass
+class Assign(Stmt):
+    """Re-assignment: ``x = expr;`` — a (new) virtual-variable definition."""
+
+    name: str = ""
+    value: Expr = None
+    #: Declared type of the target, filled in by validation.
+    target_dtype: Optional[DType] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+
+@dataclass
+class Store(Stmt):
+    """Global-memory store: ``ptr[index] = value;``"""
+
+    ptr: Expr = None
+    index: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class SharedStore(Stmt):
+    """Shared-memory store: ``name[index] = value;``"""
+
+    array: str = ""
+    index: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class AtomicAdd(Stmt):
+    """``atomicAdd(&arr[index], value)`` on shared or global memory."""
+
+    space: str = "shared"  # "shared" | "global"
+    target: Expr = None  # pointer expr (global) — None for shared
+    array: str = ""  # shared array name — "" for global
+    index: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class For(Stmt):
+    """C-style for loop.  ``init`` is a Decl, ``update`` an Assign."""
+
+    init: Optional[Decl] = None
+    cond: Expr = None
+    update: Optional[Assign] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    """While loop (also used for do-while lowering by the parser)."""
+
+    cond: Expr = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    """Two-armed conditional."""
+
+    cond: Expr = None
+    then: List[Stmt] = field(default_factory=list)
+    els: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    """Early thread exit (``return;`` in a ``void`` kernel)."""
+
+
+@dataclass
+class SyncThreads(Stmt):
+    """``__syncthreads()`` barrier — forces the lockstep interpreter."""
+
+
+@dataclass
+class CallStmt(Stmt):
+    """Call into a bound instrumentation library (Figure 12).
+
+    The interpreter routes any ``__hauberk_*`` function to the library
+    object bound at launch; args are evaluated before the call except
+    string constants, which pass through verbatim (used for variable
+    names so the library can read/write the calling frame).
+    """
+
+    func: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Kernel container
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KernelParam:
+    """Formal parameter of a kernel (a virtual variable per Section V.A)."""
+
+    name: str
+    dtype: DType
+    site: int = field(default=-1, repr=False, compare=False)
+
+
+@dataclass
+class SharedDecl:
+    """Per-block shared-memory array declaration."""
+
+    name: str
+    dtype: DType
+    size: int
+
+
+@dataclass
+class Kernel:
+    """A GPU kernel: the unit the Hauberk translator instruments."""
+
+    name: str
+    params: List[KernelParam] = field(default_factory=list)
+    shared: List[SharedDecl] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+    #: Set by validation.
+    validated: bool = field(default=False, repr=False, compare=False)
+    uses_sync: bool = field(default=False, repr=False, compare=False)
+    n_sites: int = field(default=0, repr=False, compare=False)
+
+    def clone(self) -> "Kernel":
+        """Deep copy for transformation passes (translator, baselines)."""
+        return copy.deepcopy(self)
+
+    @property
+    def shared_mem_words(self) -> int:
+        """Total shared memory footprint in 4-byte words."""
+        return sum(s.size for s in self.shared)
+
+    def param(self, name: str) -> KernelParam:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"kernel {self.name} has no parameter {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def child_exprs(stmt: Stmt) -> List[Expr]:
+    """Direct expression children of a statement (evaluation order)."""
+    if isinstance(stmt, Decl):
+        return [stmt.init] if stmt.init is not None else []
+    if isinstance(stmt, Assign):
+        return [stmt.value]
+    if isinstance(stmt, Store):
+        return [stmt.ptr, stmt.index, stmt.value]
+    if isinstance(stmt, SharedStore):
+        return [stmt.index, stmt.value]
+    if isinstance(stmt, AtomicAdd):
+        out = []
+        if stmt.target is not None:
+            out.append(stmt.target)
+        out.extend([stmt.index, stmt.value])
+        return out
+    if isinstance(stmt, For):
+        return [stmt.cond] if stmt.cond is not None else []
+    if isinstance(stmt, While):
+        return [stmt.cond]
+    if isinstance(stmt, If):
+        return [stmt.cond]
+    if isinstance(stmt, CallStmt):
+        return list(stmt.args)
+    return []
+
+
+def child_blocks(stmt: Stmt) -> List[List[Stmt]]:
+    """Nested statement lists of a compound statement."""
+    if isinstance(stmt, For):
+        return [stmt.body]
+    if isinstance(stmt, While):
+        return [stmt.body]
+    if isinstance(stmt, If):
+        return [stmt.then, stmt.els]
+    return []
+
+
+def walk_exprs(expr: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of an expression tree."""
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_exprs(expr.left)
+        yield from walk_exprs(expr.right)
+    elif isinstance(expr, UnOp):
+        yield from walk_exprs(expr.operand)
+    elif isinstance(expr, Call):
+        for a in expr.args:
+            yield from walk_exprs(a)
+    elif isinstance(expr, Load):
+        yield from walk_exprs(expr.ptr)
+        yield from walk_exprs(expr.index)
+    elif isinstance(expr, SharedLoad):
+        yield from walk_exprs(expr.index)
+
+
+def walk_stmts(body: List[Stmt], _depth: int = 0) -> Iterator[Tuple[Stmt, int]]:
+    """Pre-order traversal of a statement list yielding (stmt, loop_depth).
+
+    Loop init/update statements are yielded as part of their ``For``
+    (at the loop's own depth for init, inside for update), matching
+    how the validator assigns ``in_loop``.
+    """
+    for stmt in body:
+        yield stmt, _depth
+        if isinstance(stmt, For):
+            if stmt.init is not None:
+                yield stmt.init, _depth
+            if stmt.update is not None:
+                yield stmt.update, _depth + 1
+            yield from walk_stmts(stmt.body, _depth + 1)
+        elif isinstance(stmt, While):
+            yield from walk_stmts(stmt.body, _depth + 1)
+        elif isinstance(stmt, If):
+            yield from walk_stmts(stmt.then, _depth)
+            yield from walk_stmts(stmt.els, _depth)
+
+
+def defining_statements(body: List[Stmt]) -> Iterator[Tuple[Stmt, int]]:
+    """All virtual-variable definitions with their loop depth."""
+    for stmt, depth in walk_stmts(body):
+        if isinstance(stmt, (Decl, Assign)):
+            yield stmt, depth

@@ -1,0 +1,179 @@
+"""Ergonomic construction helpers for KIR kernels.
+
+The workload kernels in this repository are written in mini-CUDA text
+and parsed (:mod:`repro.kir.parser`), but transformation passes — the
+Hauberk translator, R-Scatter, tests — build AST fragments directly.
+These helpers keep that code short and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.kir.astnodes import (
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Const,
+    Decl,
+    Expr,
+    For,
+    If,
+    Kernel,
+    KernelParam,
+    Load,
+    SharedDecl,
+    SpecialReg,
+    Stmt,
+    UnOp,
+    Var,
+)
+from repro.kir.types import DType
+from repro.kir.validate import validate_kernel
+
+ExprLike = Union[Expr, int, float, str]
+
+
+def expr(value: ExprLike) -> Expr:
+    """Coerce a Python literal or name into an expression node.
+
+    ``int``/``float`` become constants; a ``str`` becomes a variable
+    reference (or special register if it contains a dot).
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, (int, float)):
+        return Const(value)
+    if isinstance(value, str):
+        if "." in value:
+            return SpecialReg(value)
+        return Var(value)
+    raise TypeError(f"cannot coerce {value!r} to a KIR expression")
+
+
+def const(value) -> Const:
+    return Const(value)
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def binop(op: str, left: ExprLike, right: ExprLike) -> BinOp:
+    return BinOp(op, expr(left), expr(right))
+
+
+def add(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("+", a, b)
+
+
+def sub(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("-", a, b)
+
+
+def mul(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("*", a, b)
+
+
+def div(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("/", a, b)
+
+
+def lt(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("<", a, b)
+
+
+def ne(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("!=", a, b)
+
+
+def eq(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("==", a, b)
+
+
+def neg(a: ExprLike) -> UnOp:
+    return UnOp("-", expr(a))
+
+
+def call(func: str, *args: ExprLike) -> Call:
+    return Call(func, [expr(a) for a in args])
+
+
+def load(ptr: ExprLike, index: ExprLike) -> Load:
+    return Load(expr(ptr), expr(index))
+
+
+def decl(name: str, dtype: DType, init: ExprLike) -> Decl:
+    return Decl(name, dtype, expr(init))
+
+
+def decl_int(name: str, init: ExprLike) -> Decl:
+    return Decl(name, DType.INT32, expr(init))
+
+
+def decl_float(name: str, init: ExprLike) -> Decl:
+    return Decl(name, DType.FLOAT32, expr(init))
+
+
+def assign(name: str, value: ExprLike) -> Assign:
+    return Assign(name, expr(value))
+
+
+def inc(name: str, by: ExprLike = 1) -> Assign:
+    """``name = name + by`` — the accumulation-counter idiom."""
+    return Assign(name, add(Var(name), by))
+
+
+def for_range(
+    itername: str,
+    stop: ExprLike,
+    body: Sequence[Stmt],
+    start: ExprLike = 0,
+    step: ExprLike = 1,
+) -> For:
+    """``for (int it = start; it < stop; it = it + step) { body }``"""
+    return For(
+        init=decl_int(itername, start),
+        cond=lt(Var(itername), stop),
+        update=Assign(itername, add(Var(itername), step)),
+        body=list(body),
+    )
+
+
+def if_(cond: ExprLike, then: Sequence[Stmt], els: Optional[Sequence[Stmt]] = None) -> If:
+    return If(expr(cond), list(then), list(els) if els else [])
+
+
+def libcall(func: str, *args: ExprLike) -> CallStmt:
+    return CallStmt(func, [expr(a) for a in args])
+
+
+def thread_linear_index() -> Expr:
+    """``blockIdx.x * blockDim.x + threadIdx.x`` — the ubiquitous idiom."""
+    return add(mul(SpecialReg("blockIdx.x"), SpecialReg("blockDim.x")), SpecialReg("threadIdx.x"))
+
+
+def make_kernel(
+    name: str,
+    params: Sequence[tuple],
+    body: List[Stmt],
+    shared: Optional[Sequence[tuple]] = None,
+    validate: bool = True,
+) -> Kernel:
+    """Assemble and (by default) validate a kernel.
+
+    ``params`` is a sequence of ``(name, DType)``; ``shared`` a sequence
+    of ``(name, DType, size_words)``.
+    """
+    kernel = Kernel(
+        name=name,
+        params=[KernelParam(n, t) for n, t in params],
+        shared=[SharedDecl(n, t, s) for n, t, s in (shared or [])],
+        body=body,
+    )
+    if validate:
+        validate_kernel(kernel)
+    return kernel

@@ -1,0 +1,34 @@
+"""KIR interpreters.
+
+Two execution paths over the same semantics:
+
+* :mod:`repro.kir.interp.compiler` — AST compiled to Python closures;
+  the fast path used for every kernel without ``__syncthreads``.
+* :mod:`repro.kir.interp.lockstep` — generator-based lockstep execution
+  of all threads in a block, required for barrier semantics.
+
+Shared runtime pieces (C-semantics arithmetic, intrinsics, the
+instrumentation-library protocol, execution context) live in
+:mod:`repro.kir.interp.evalcore`.
+"""
+
+from repro.kir.interp.evalcore import (
+    ExecContext,
+    InstrumentationLibrary,
+    BreakSignal,
+    ContinueSignal,
+    ReturnSignal,
+)
+from repro.kir.interp.compiler import CompiledKernel, compile_kernel
+from repro.kir.interp.lockstep import LockstepProgram
+
+__all__ = [
+    "ExecContext",
+    "InstrumentationLibrary",
+    "BreakSignal",
+    "ContinueSignal",
+    "ReturnSignal",
+    "CompiledKernel",
+    "compile_kernel",
+    "LockstepProgram",
+]

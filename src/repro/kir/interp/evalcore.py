@@ -1,0 +1,299 @@
+"""Runtime semantics shared by both interpreters.
+
+Arithmetic follows C-on-GPU conventions from the paper:
+
+* integers are 32-bit two's complement (wrapping);
+* FP division by zero "does not lead to an exception but returns an
+  infinite value" (Observation 1 discussion) — so ``fdiv`` yields
+  +/-inf or NaN, never a Python exception;
+* integer division by zero crashes the kernel (detected by the GPU
+  runtime — a *failure*, not an SDC);
+* ``sqrt``/``log`` of invalid inputs produce NaN, as on real FPUs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bits import wrap_i32
+from repro.errors import KernelCrash, KernelHang
+
+NAN = float("nan")
+INF = float("inf")
+
+
+# ---------------------------------------------------------------------------
+# control-flow signals
+# ---------------------------------------------------------------------------
+
+
+class BreakSignal(Exception):
+    """Raised by a compiled ``break``; caught by the innermost loop."""
+
+
+class ContinueSignal(Exception):
+    """Raised by a compiled ``continue``; caught by the loop body."""
+
+
+class ReturnSignal(Exception):
+    """Raised by a compiled ``return``; ends the thread."""
+
+
+# ---------------------------------------------------------------------------
+# C-semantics arithmetic helpers
+# ---------------------------------------------------------------------------
+
+
+def fdiv(a: float, b: float) -> float:
+    """IEEE float division: x/0 -> signed inf, 0/0 -> NaN."""
+    if b == 0.0:
+        if a == 0.0 or a != a:
+            return NAN
+        return INF if (a > 0.0) == (not _signbit(b)) else -INF
+    try:
+        return a / b
+    except OverflowError:  # huge-int operand edge case
+        return INF if (a > 0) == (b > 0) else -INF
+
+
+def _signbit(x: float) -> bool:
+    return math.copysign(1.0, x) < 0
+
+
+def idiv(a: int, b: int) -> int:
+    """C integer division (truncation toward zero); /0 crashes."""
+    if b == 0:
+        raise KernelCrash("integer division by zero")
+    q = abs(a) // abs(b)
+    return wrap_i32(-q if (a < 0) != (b < 0) else q)
+
+
+def imod(a: int, b: int) -> int:
+    """C remainder: sign of the dividend; %0 crashes."""
+    if b == 0:
+        raise KernelCrash("integer modulo by zero")
+    r = abs(a) % abs(b)
+    return wrap_i32(-r if a < 0 else r)
+
+
+def c_int_cast(x) -> int:
+    """C-like float->int conversion: truncate; NaN -> 0; saturate inf."""
+    if isinstance(x, int):
+        return wrap_i32(x)
+    if x != x:  # NaN (CUDA __float2int_rz returns 0)
+        return 0
+    if x >= 2147483648.0:
+        return 2147483647
+    if x <= -2147483649.0:
+        return -2147483648
+    return wrap_i32(int(x))
+
+
+def truthy(x) -> bool:
+    """C truth: non-zero is true (NaN is non-zero, hence true)."""
+    return x != 0
+
+
+def _safe_sqrt(x: float) -> float:
+    if x != x or x < 0.0:
+        return NAN
+    if x == INF:
+        return INF
+    return math.sqrt(x)
+
+
+def _safe_rsqrt(x: float) -> float:
+    if x != x or x < 0.0:
+        return NAN
+    if x == 0.0:
+        return INF
+    if x == INF:
+        return 0.0
+    return 1.0 / math.sqrt(x)
+
+
+def _safe_exp(x: float) -> float:
+    if x != x:
+        return NAN
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return INF
+
+
+def _safe_log(x: float) -> float:
+    if x != x or x < 0.0:
+        return NAN
+    if x == 0.0:
+        return -INF
+    if x == INF:
+        return INF
+    return math.log(x)
+
+
+def _safe_acos(x: float) -> float:
+    if x != x or x < -1.0 or x > 1.0:
+        return NAN
+    return math.acos(x)
+
+
+def _safe_sin(x: float) -> float:
+    if x != x or math.isinf(x):
+        return NAN
+    return math.sin(x)
+
+
+def _safe_cos(x: float) -> float:
+    if x != x or math.isinf(x):
+        return NAN
+    return math.cos(x)
+
+
+def _safe_pow(a: float, b: float) -> float:
+    try:
+        r = math.pow(a, b)
+    except (ValueError, OverflowError):
+        return NAN
+    return r
+
+
+def _safe_floor(x: float) -> float:
+    if x != x or math.isinf(x):
+        return x
+    return float(math.floor(x))
+
+
+def _safe_atan2(a: float, b: float) -> float:
+    if a != a or b != b:
+        return NAN
+    return math.atan2(a, b)
+
+
+#: Intrinsic name -> Python callable on evaluated (float/int) args.
+INTRINSIC_IMPL: Dict[str, Callable] = {
+    "sqrt": _safe_sqrt,
+    "rsqrt": _safe_rsqrt,
+    "exp": _safe_exp,
+    "log": _safe_log,
+    "sin": _safe_sin,
+    "cos": _safe_cos,
+    "acos": _safe_acos,
+    "atan2": _safe_atan2,
+    "floor": _safe_floor,
+    "fabs": lambda x: abs(float(x)),
+    "pow": _safe_pow,
+    "fmin": lambda a, b: NAN if (a != a or b != b) else min(float(a), float(b)),
+    "fmax": lambda a, b: NAN if (a != a or b != b) else max(float(a), float(b)),
+    "abs": lambda x: wrap_i32(abs(int(x))),
+    "min": min,
+    "max": max,
+    "int": c_int_cast,
+    "float": float,
+}
+
+
+# ---------------------------------------------------------------------------
+# instrumentation-library protocol
+# ---------------------------------------------------------------------------
+
+
+class InstrumentationLibrary:
+    """Base class for libraries bound at kernel launch (Figure 12).
+
+    A ``CallStmt`` whose function name is ``__hauberk_<op>`` dispatches
+    to the method ``lib_<op>(ctx, frame, *args)``.  Arguments are
+    evaluated values; string constants arrive as ``str`` (the FI
+    library receives variable names this way so it can read and write
+    the calling frame directly — the mutation-based injection of
+    Section VII).
+    """
+
+    PREFIX = "__hauberk_"
+
+    def invoke(self, func: str, ctx: "ExecContext", frame: dict, args: Sequence) -> None:
+        if not func.startswith(self.PREFIX):
+            raise KernelCrash(f"unbound library call {func}")
+        method = getattr(self, "lib_" + func[len(self.PREFIX):], None)
+        if method is None:
+            raise KernelCrash(f"library has no handler for {func}")
+        method(ctx, frame, *args)
+
+    def handles(self, func: str) -> bool:
+        return func.startswith(self.PREFIX) and hasattr(
+            self, "lib_" + func[len(self.PREFIX):]
+        )
+
+
+class NullLibrary(InstrumentationLibrary):
+    """Ignores every instrumentation call (original-binary behaviour)."""
+
+    def invoke(self, func: str, ctx: "ExecContext", frame: dict, args: Sequence) -> None:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# execution context
+# ---------------------------------------------------------------------------
+
+
+class ExecContext:
+    """Mutable per-launch execution state shared by all threads.
+
+    Attributes of note:
+
+    * ``memory`` — the device :class:`~repro.gpu.memory.GlobalMemory`;
+    * ``lib`` — bound instrumentation library (FI / profiler / FT);
+    * ``budget`` — per-thread statement budget; exceeding it raises
+      :class:`~repro.errors.KernelHang` (the watchdog);
+    * ``cycles`` / ``loop_cycles`` — cost-model accounting used for
+      Figure 4 and all of Figure 13.
+    """
+
+    __slots__ = (
+        "memory",
+        "lib",
+        "budget",
+        "steps",
+        "max_steps",
+        "cycles",
+        "loop_cycles",
+        "shared",
+        "thread",
+        "block",
+        "spill_factor",
+    )
+
+    def __init__(
+        self,
+        memory,
+        lib: Optional[InstrumentationLibrary] = None,
+        budget: int = 2_000_000,
+    ):
+        self.memory = memory
+        self.lib = lib if lib is not None else NullLibrary()
+        self.budget = budget
+        self.steps = 0
+        self.max_steps = 0
+        self.cycles = 0.0
+        self.loop_cycles = 0.0
+        self.shared: Dict[str, List] = {}
+        self.thread = -1
+        self.block = -1
+        self.spill_factor = 1.0
+
+    def tick(self) -> None:
+        """Per-statement watchdog bump (inlined by the compiler)."""
+        self.steps += 1
+        if self.steps > self.budget:
+            raise KernelHang(
+                f"thread {self.thread} in block {self.block} exceeded "
+                f"{self.budget} statements"
+            )
+
+    def reset_thread(self, block: int, thread: int) -> None:
+        if self.steps > self.max_steps:
+            self.max_steps = self.steps
+        self.steps = 0
+        self.thread = thread
+        self.block = block

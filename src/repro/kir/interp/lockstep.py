@@ -1,0 +1,270 @@
+"""Generator-based lockstep interpreter for kernels with barriers.
+
+Threads of a block run as coroutines that yield at ``__syncthreads``;
+a round-robin scheduler advances every active thread to the next
+barrier (or to completion) before any thread proceeds past it.  A
+thread that exits early simply leaves the active set — matching the
+semantics of modern CUDA barriers, which only wait on non-exited
+threads — so a fault that diverts one thread around a barrier degrades
+results rather than deadlocking the simulator (a real hang is still
+modeled via the per-thread statement budget).
+
+This path is an order of magnitude slower than the closure compiler,
+and is selected automatically only for ``kernel.uses_sync`` kernels
+(TPACF's shared-memory histogram in this repository).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import KernelCrash, KernelHang, KIRValidationError
+from repro.kir.astnodes import (
+    Assign,
+    AtomicAdd,
+    Break,
+    CallStmt,
+    Continue,
+    Decl,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Return,
+    SharedStore,
+    Stmt,
+    Store,
+    SyncThreads,
+    While,
+)
+from repro.kir.interp.compiler import ExprFn, compile_expr, _converter
+from repro.kir.interp.evalcore import (
+    BreakSignal,
+    ContinueSignal,
+    ExecContext,
+    ReturnSignal,
+    truthy,
+)
+from repro.kir.types import DType
+from repro.bits import wrap_i32
+
+
+class _ThreadState:
+    __slots__ = ("steps", "thread")
+
+    def __init__(self, thread: int):
+        self.steps = 0
+        self.thread = thread
+
+
+class LockstepProgram:
+    """A kernel prepared for lockstep execution (exprs precompiled)."""
+
+    def __init__(self, kernel: Kernel, costmodel=None):
+        if not kernel.validated:
+            raise KIRValidationError("validate the kernel before compiling")
+        if costmodel is None:
+            from repro.gpu.costmodel import CostModel
+
+            costmodel = CostModel()
+        self.kernel = kernel
+        self.cm = costmodel
+        self._efn: Dict[int, ExprFn] = {}
+        self._ecost: Dict[int, float] = {}
+
+    # -- expression cache ---------------------------------------------
+    def _fn(self, e: Expr) -> ExprFn:
+        f = self._efn.get(id(e))
+        if f is None:
+            f = compile_expr(e)
+            self._efn[id(e)] = f
+        return f
+
+    def _cost(self, e: Expr) -> float:
+        c = self._ecost.get(id(e))
+        if c is None:
+            c = self.cm.expr_cost(e)
+            self._ecost[id(e)] = c
+        return c
+
+    # -- execution ------------------------------------------------------
+    def run_block(self, frames: List[dict], ctx: ExecContext) -> None:
+        """Run all threads of one block in lockstep until completion."""
+        states = [_ThreadState(t) for t in range(len(frames))]
+        gens = [
+            self._thread_gen(frames[t], states[t], ctx) for t in range(len(frames))
+        ]
+        active = list(range(len(frames)))
+        while active:
+            still: List[int] = []
+            for t in active:
+                ctx.thread = t
+                try:
+                    next(gens[t])
+                    still.append(t)  # parked at a barrier
+                except StopIteration:
+                    pass
+            active = still
+        for st in states:
+            if st.steps > ctx.max_steps:
+                ctx.max_steps = st.steps
+
+    def _thread_gen(self, fr: dict, st: _ThreadState, ctx: ExecContext) -> Iterator:
+        try:
+            yield from self._exec_block(self.kernel.body, fr, st, ctx)
+        except ReturnSignal:
+            return
+
+    def _exec_block(self, stmts: List[Stmt], fr: dict, st: _ThreadState, ctx) -> Iterator:
+        for s in stmts:
+            yield from self._exec_stmt(s, fr, st, ctx)
+
+    def _tick(self, st: _ThreadState, ctx: ExecContext) -> None:
+        st.steps += 1
+        if st.steps > ctx.budget:
+            raise KernelHang(f"thread {st.thread} exceeded {ctx.budget} statements")
+
+    def _exec_stmt(self, s: Stmt, fr: dict, st: _ThreadState, ctx) -> Iterator:
+        if isinstance(s, SyncThreads):
+            self._tick(st, ctx)
+            ctx.cycles += self.cm.sync_cost
+            yield "sync"
+            return
+        if isinstance(s, (Decl, Assign)):
+            self._tick(st, ctx)
+            if isinstance(s, Decl):
+                rhs, target = s.init, s.var_dtype
+            else:
+                rhs, target = s.value, s.target_dtype
+            cost = (self._cost(rhs) + self.cm.write_cost) * s.cost_scale
+            ctx.cycles += cost
+            if s.in_loop:
+                ctx.loop_cycles += cost
+            value = self._fn(rhs)(fr, ctx)
+            conv = _converter(target, rhs.dtype)
+            fr[s.name] = value if conv is None else conv(value)
+            return
+        if isinstance(s, Store):
+            self._tick(st, ctx)
+            cost = (
+                self._cost(s.ptr) + self._cost(s.index) + self._cost(s.value)
+                + self.cm.mem_global
+            ) * s.cost_scale
+            ctx.cycles += cost
+            if s.in_loop:
+                ctx.loop_cycles += cost
+            addr = self._fn(s.ptr)(fr, ctx) + self._fn(s.index)(fr, ctx)
+            value = self._fn(s.value)(fr, ctx)
+            if s.ptr.dtype.element is DType.FLOAT32:
+                ctx.memory.store_f32(addr, value)
+            else:
+                ctx.memory.store_i32(addr, value)
+            return
+        if isinstance(s, SharedStore):
+            self._tick(st, ctx)
+            cost = self._cost(s.index) + self._cost(s.value) + self.cm.mem_shared
+            ctx.cycles += cost
+            if s.in_loop:
+                ctx.loop_cycles += cost
+            arr = ctx.shared[s.array]
+            idx = self._fn(s.index)(fr, ctx)
+            if not 0 <= idx < len(arr):
+                raise KernelCrash(
+                    f"shared memory OOB write {s.array}[{idx}]", st.thread, ctx.block
+                )
+            arr[idx] = self._fn(s.value)(fr, ctx)
+            return
+        if isinstance(s, AtomicAdd):
+            self._tick(st, ctx)
+            value = self._fn(s.value)(fr, ctx)
+            idx = self._fn(s.index)(fr, ctx)
+            if s.space == "shared":
+                ctx.cycles += self.cm.atomic_shared
+                arr = ctx.shared[s.array]
+                if not 0 <= idx < len(arr):
+                    raise KernelCrash(
+                        f"shared memory OOB atomic {s.array}[{idx}]", st.thread, ctx.block
+                    )
+                result = arr[idx] + value
+                arr[idx] = wrap_i32(result) if isinstance(result, int) else result
+            else:
+                ctx.cycles += self.cm.atomic_global
+                addr = self._fn(s.target)(fr, ctx) + idx
+                if s.target.dtype.element is DType.FLOAT32:
+                    ctx.memory.store_f32(addr, ctx.memory.load_f32(addr) + value)
+                else:
+                    ctx.memory.store_i32(
+                        addr, wrap_i32(ctx.memory.load_i32(addr) + value)
+                    )
+            if s.in_loop:
+                ctx.loop_cycles += self.cm.atomic_shared
+            return
+        if isinstance(s, For):
+            if s.init is not None:
+                yield from self._exec_stmt(s.init, fr, st, ctx)
+            cond_fn = self._fn(s.cond)
+            cond_cost = self._cost(s.cond) + self.cm.branch_cost
+            try:
+                while True:
+                    self._tick(st, ctx)
+                    ctx.cycles += cond_cost
+                    ctx.loop_cycles += cond_cost
+                    if not truthy(cond_fn(fr, ctx)):
+                        break
+                    try:
+                        yield from self._exec_block(s.body, fr, st, ctx)
+                    except ContinueSignal:
+                        pass
+                    if s.update is not None:
+                        yield from self._exec_stmt(s.update, fr, st, ctx)
+            except BreakSignal:
+                pass
+            return
+        if isinstance(s, While):
+            cond_fn = self._fn(s.cond)
+            cond_cost = self._cost(s.cond) + self.cm.branch_cost
+            try:
+                while True:
+                    self._tick(st, ctx)
+                    ctx.cycles += cond_cost
+                    ctx.loop_cycles += cond_cost
+                    if not truthy(cond_fn(fr, ctx)):
+                        break
+                    try:
+                        yield from self._exec_block(s.body, fr, st, ctx)
+                    except ContinueSignal:
+                        pass
+            except BreakSignal:
+                pass
+            return
+        if isinstance(s, If):
+            self._tick(st, ctx)
+            cost = (self._cost(s.cond) + self.cm.branch_cost) * s.cost_scale
+            ctx.cycles += cost
+            if s.in_loop:
+                ctx.loop_cycles += cost
+            if truthy(self._fn(s.cond)(fr, ctx)):
+                yield from self._exec_block(s.then, fr, st, ctx)
+            else:
+                yield from self._exec_block(s.els, fr, st, ctx)
+            return
+        if isinstance(s, Break):
+            self._tick(st, ctx)
+            raise BreakSignal()
+        if isinstance(s, Continue):
+            self._tick(st, ctx)
+            raise ContinueSignal()
+        if isinstance(s, Return):
+            self._tick(st, ctx)
+            raise ReturnSignal()
+        if isinstance(s, CallStmt):
+            self._tick(st, ctx)
+            cost = self.cm.libcall_cost(s.func)
+            if cost:
+                ctx.cycles += cost
+                if s.in_loop:
+                    ctx.loop_cycles += cost
+            args = [self._fn(a)(fr, ctx) for a in s.args]
+            ctx.lib.invoke(s.func, ctx, fr, args)
+            return
+        raise KIRValidationError(f"lockstep cannot execute {type(s).__name__}")

@@ -1,0 +1,129 @@
+"""OpenCL C front-end for KIR.
+
+The paper notes that because Hauberk mutates *source*, "the framework
+can be easily ported to other parallel programming languages (e.g.,
+OpenCL)" (Sections IV.B and VII).  This module makes that concrete: an
+OpenCL C kernel is translated into the mini-CUDA dialect and parsed
+into the same IR, after which every Hauberk pass (translator, SWIFI,
+baselines) applies unchanged.
+
+Supported OpenCL constructs:
+
+====================================  ================================
+OpenCL                                lowering
+====================================  ================================
+``__kernel void f(...)``              ``kernel f(...)``
+``__global float* p``                 ``float* p``
+``__local float t[64];``              ``shared float t[64];`` (hoisted)
+``barrier(CLK_LOCAL_MEM_FENCE)``      ``__syncthreads()``
+``get_global_id(0|1)``                ``blockIdx*blockDim + threadIdx``
+``get_local_id / get_group_id``       ``threadIdx / blockIdx``
+``get_local_size / get_num_groups``   ``blockDim / gridDim``
+``get_global_size(d)``                ``gridDim*blockDim``
+``size_t`` / ``uint``                 ``int``
+``sqrtf`` & friends / ``native_*``    the unsuffixed intrinsics
+====================================  ================================
+
+The translation is textual (like a preprocessor pass); the result goes
+through the full mini-CUDA parser and validator, so anything the
+rewrite misses fails loudly rather than silently.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.errors import KIRParseError
+from repro.kir.astnodes import Kernel
+from repro.kir.parser import parse_kernel
+
+_DIM = {"0": "x", "1": "y"}
+
+_SIMPLE_SUBS: Tuple[Tuple[str, str], ...] = (
+    (r"\b__kernel\s+void\s+", "kernel "),
+    (r"\b__global\s+", ""),
+    (r"\b__constant\s+", ""),
+    (r"\b__private\s+", ""),
+    (r"\bconst\s+", ""),
+    (r"\bbarrier\s*\(\s*[A-Za-z_|\s]*\)", "__syncthreads()"),
+    (r"\bsize_t\b", "int"),
+    (r"\buint\b", "int"),
+    (r"\bunsigned\s+int\b", "int"),
+    (r"\bnative_(sqrt|sin|cos|exp|log)\b", r"\1"),
+    (r"\b(sqrt|sin|cos|exp|log|fabs|floor|pow|fmin|fmax|acos)f\b", r"\1"),
+)
+
+
+def _workitem_subs(text: str) -> str:
+    def global_id(m):
+        d = _DIM.get(m.group(1))
+        if d is None:
+            raise KIRParseError(f"unsupported get_global_id dimension {m.group(1)}")
+        return f"(blockIdx.{d} * blockDim.{d} + threadIdx.{d})"
+
+    def global_size(m):
+        d = _DIM.get(m.group(1))
+        if d is None:
+            raise KIRParseError(f"unsupported get_global_size dimension {m.group(1)}")
+        return f"(gridDim.{d} * blockDim.{d})"
+
+    def plain(reg_name):
+        def sub(m):
+            d = _DIM.get(m.group(1))
+            if d is None:
+                raise KIRParseError(f"unsupported work-item dimension {m.group(1)}")
+            return f"{reg_name}.{d}"
+
+        return sub
+
+    text = re.sub(r"\bget_global_id\s*\(\s*(\d)\s*\)", global_id, text)
+    text = re.sub(r"\bget_global_size\s*\(\s*(\d)\s*\)", global_size, text)
+    text = re.sub(r"\bget_local_id\s*\(\s*(\d)\s*\)", plain("threadIdx"), text)
+    text = re.sub(r"\bget_group_id\s*\(\s*(\d)\s*\)", plain("blockIdx"), text)
+    text = re.sub(r"\bget_local_size\s*\(\s*(\d)\s*\)", plain("blockDim"), text)
+    text = re.sub(r"\bget_num_groups\s*\(\s*(\d)\s*\)", plain("gridDim"), text)
+    return text
+
+
+_LOCAL_DECL = re.compile(
+    r"\b__local\s+(int|float)\s+([A-Za-z_]\w*)\s*\[\s*(\d+)\s*\]\s*;"
+)
+
+
+def _hoist_local_decls(text: str) -> str:
+    """Move ``__local`` array declarations to the shared-decl slot.
+
+    The mini-CUDA grammar requires ``shared`` declarations at the top
+    of the kernel body; OpenCL allows ``__local`` anywhere.
+    """
+    decls: List[str] = []
+
+    def grab(m):
+        decls.append(f"    shared {m.group(1)} {m.group(2)}[{m.group(3)}];")
+        return ""
+
+    text = _LOCAL_DECL.sub(grab, text)
+    if not decls:
+        return text
+    brace = text.find("{")
+    if brace < 0:
+        raise KIRParseError("OpenCL kernel has no body")
+    return text[: brace + 1] + "\n" + "\n".join(decls) + text[brace + 1 :]
+
+
+def opencl_to_minicuda(source: str) -> str:
+    """Translate OpenCL C kernel source into the mini-CUDA dialect."""
+    text = source
+    for pattern, replacement in _SIMPLE_SUBS:
+        text = re.sub(pattern, replacement, text)
+    text = _workitem_subs(text)
+    text = _hoist_local_decls(text)
+    if "__local" in text:
+        raise KIRParseError("unsupported __local usage (only 1-D array decls)")
+    return text
+
+
+def parse_opencl_kernel(source: str, validate: bool = True) -> Kernel:
+    """Parse an OpenCL C kernel into a (validated) KIR :class:`Kernel`."""
+    return parse_kernel(opencl_to_minicuda(source), validate=validate)

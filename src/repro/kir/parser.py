@@ -1,0 +1,503 @@
+"""Recursive-descent parser for the mini-CUDA kernel language.
+
+The workload kernels (Section II's Parboil programs and the graphics
+programs) are written in this dialect, mirroring how the paper's
+CETUS-based translator consumes CUDA C++ source.  Supported syntax:
+
+.. code-block:: c
+
+    kernel cp(float* atominfo, int numatoms, float* energygrid) {
+        shared float tile[128];
+        int  xindex = blockIdx.x * blockDim.x + threadIdx.x;
+        float energy = 0.0;
+        for (int atomid = 0; atomid < numatoms; atomid++) {
+            float dx = atominfo[atomid * 4] - 1.5;
+            energy += atominfo[atomid * 4 + 3] / sqrt(dx * dx + 1.0);
+        }
+        energygrid[xindex] = energy;
+    }
+
+Conveniences over the raw AST: compound assignment (``+=`` etc.),
+``++``/``--``, ``do { } while`` (lowered to body + ``while``),
+``atomicAdd(&a[i], v)``, and ``//`` / ``/* */`` comments.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import KIRParseError
+from repro.kir.astnodes import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Break,
+    Call,
+    CallStmt,
+    Const,
+    Continue,
+    Decl,
+    Expr,
+    For,
+    If,
+    Kernel,
+    KernelParam,
+    Load,
+    Return,
+    SharedDecl,
+    SharedLoad,
+    SharedStore,
+    SpecialReg,
+    Stmt,
+    Store,
+    SyncThreads,
+    UnOp,
+    Var,
+    While,
+)
+from repro.kir.types import DType
+from repro.kir.validate import INTRINSICS, validate_kernel
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<float>(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?[fF]?|\d+[eE][-+]?\d+[fF]?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(?:\.[xy])?)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|\+\+|--|[-+*/%<>=!&|^~(){}\[\],;.])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_KEYWORDS = {
+    "kernel",
+    "shared",
+    "int",
+    "float",
+    "for",
+    "while",
+    "do",
+    "if",
+    "else",
+    "break",
+    "continue",
+    "return",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "col")
+
+    def __init__(self, kind: str, text: str, line: int, col: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.col = col
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise KIRParseError(
+                f"unexpected character {source[pos]!r}", line, pos - line_start + 1
+            )
+        kind = m.lastgroup
+        text = m.group()
+        col = pos - line_start + 1
+        if kind in ("ws", "comment"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + text.rindex("\n") + 1
+        elif kind == "float" and "." not in text and "e" not in text and "E" not in text and not text.endswith(("f", "F")):
+            tokens.append(_Token("int", text, line, col))
+        elif kind == "hex":
+            tokens.append(_Token("int", text, line, col))
+        elif kind == "ident" and text in _KEYWORDS:
+            tokens.append(_Token("kw", text, line, col))
+        else:
+            tokens.append(_Token(kind, text, line, col))
+        pos = m.end()
+    tokens.append(_Token("eof", "", line, pos - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.shared_names: set = set()
+        self._dw_counter = 0
+
+    # -- token plumbing ----------------------------------------------
+    @property
+    def cur(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.cur
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise KIRParseError(
+                f"expected {want!r}, found {self.cur.text!r}", self.cur.line, self.cur.col
+            )
+        return self.advance()
+
+    def error(self, message: str) -> KIRParseError:
+        return KIRParseError(message, self.cur.line, self.cur.col)
+
+    # -- grammar -----------------------------------------------------
+    def parse_kernel(self) -> Kernel:
+        self.expect("kw", "kernel")
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: List[KernelParam] = []
+        if not self.check("op", ")"):
+            while True:
+                dtype = self.parse_type()
+                pname = self.expect("ident").text
+                params.append(KernelParam(pname, dtype))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        self.expect("op", "{")
+        shared: List[SharedDecl] = []
+        while self.check("kw", "shared"):
+            shared.append(self.parse_shared_decl())
+        body = self.parse_stmts_until("}")
+        self.expect("op", "}")
+        self.expect("eof")
+        kernel = Kernel(name=name, params=params, shared=shared, body=body)
+        return kernel
+
+    def parse_type(self) -> DType:
+        tok = self.expect("kw")
+        if tok.text not in ("int", "float"):
+            raise self.error(f"expected a type, found {tok.text!r}")
+        if self.accept("op", "*"):
+            return DType.PTR_INT32 if tok.text == "int" else DType.PTR_FLOAT32
+        return DType.INT32 if tok.text == "int" else DType.FLOAT32
+
+    def parse_shared_decl(self) -> SharedDecl:
+        self.expect("kw", "shared")
+        tok = self.expect("kw")
+        if tok.text not in ("int", "float"):
+            raise self.error("shared arrays must be int or float")
+        dtype = DType.INT32 if tok.text == "int" else DType.FLOAT32
+        name = self.expect("ident").text
+        self.expect("op", "[")
+        size = int(self.expect("int").text, 0)
+        self.expect("op", "]")
+        self.expect("op", ";")
+        self.shared_names.add(name)
+        return SharedDecl(name, dtype, size)
+
+    def parse_stmts_until(self, closer: str) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        while not self.check("op", closer):
+            if self.check("eof"):
+                raise self.error(f"unexpected end of input, expected {closer!r}")
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_block(self) -> List[Stmt]:
+        if self.accept("op", "{"):
+            stmts = self.parse_stmts_until("}")
+            self.expect("op", "}")
+            return stmts
+        return [self.parse_stmt()]
+
+    def parse_stmt(self) -> Stmt:
+        if self.check("kw", "int") or self.check("kw", "float"):
+            stmt = self.parse_decl()
+            self.expect("op", ";")
+            return stmt
+        if self.check("kw", "for"):
+            return self.parse_for()
+        if self.check("kw", "while"):
+            return self.parse_while()
+        if self.check("kw", "do"):
+            return self.parse_do_while()
+        if self.check("kw", "if"):
+            return self.parse_if()
+        if self.accept("kw", "break"):
+            self.expect("op", ";")
+            return Break()
+        if self.accept("kw", "continue"):
+            self.expect("op", ";")
+            return Continue()
+        if self.accept("kw", "return"):
+            self.expect("op", ";")
+            return Return()
+        stmt = self.parse_simple_stmt()
+        self.expect("op", ";")
+        return stmt
+
+    def parse_decl(self) -> Decl:
+        dtype = self.parse_type()
+        name = self.expect("ident").text
+        self.expect("op", "=")
+        init = self.parse_expr()
+        return Decl(name, dtype, init)
+
+    def parse_for(self) -> For:
+        self.expect("kw", "for")
+        self.expect("op", "(")
+        init: Optional[Decl] = None
+        if not self.check("op", ";"):
+            if not (self.check("kw", "int") or self.check("kw", "float")):
+                raise self.error("for-loop init must be a declaration (or empty)")
+            init = self.parse_decl()
+        self.expect("op", ";")
+        cond = self.parse_expr()
+        self.expect("op", ";")
+        update: Optional[Assign] = None
+        if not self.check("op", ")"):
+            stmt = self.parse_simple_stmt()
+            if not isinstance(stmt, Assign):
+                raise self.error("for-loop update must be an assignment")
+            update = stmt
+        self.expect("op", ")")
+        body = self.parse_block()
+        return For(init=init, cond=cond, update=update, body=body)
+
+    def parse_while(self) -> While:
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return While(cond=cond, body=body)
+
+    def parse_do_while(self) -> Stmt:
+        """``do { body } while (cond);`` lowered to a flagged while loop.
+
+        The first iteration runs unconditionally via a fresh flag so the
+        body is not duplicated (which would double its virtual-variable
+        sites and shadow its declarations).
+        """
+        self.expect("kw", "do")
+        body = self.parse_block()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        flag = f"__dw{self._dw_counter}"
+        self._dw_counter += 1
+        body.insert(0, Assign(flag, Const(0)))
+        loop = While(cond=BinOp("||", Var(flag), cond), body=body)
+        return If(cond=Const(1), then=[Decl(flag, DType.INT32, Const(1)), loop], els=[])
+
+    def parse_if(self) -> If:
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_block()
+        els: List[Stmt] = []
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                els = [self.parse_if()]
+            else:
+                els = self.parse_block()
+        return If(cond=cond, then=then, els=els)
+
+    def parse_simple_stmt(self) -> Stmt:
+        """Assignment, store, atomicAdd, __syncthreads, or library call."""
+        if self.check("ident", "atomicAdd"):
+            return self.parse_atomic_add()
+        if self.check("ident", "__syncthreads"):
+            self.advance()
+            self.expect("op", "(")
+            self.expect("op", ")")
+            return SyncThreads()
+        if self.check("ident") and self.cur.text.startswith("__"):
+            return self.parse_libcall()
+        tok = self.expect("ident")
+        name = tok.text
+        if "." in name:
+            raise self.error("cannot assign to a special register")
+        # indexed target => store
+        if self.check("op", "["):
+            self.advance()
+            index = self.parse_expr()
+            self.expect("op", "]")
+            value_expr = self._parse_rhs_for(self._indexed_read(name, index))
+            if name in self.shared_names:
+                return SharedStore(array=name, index=index, value=value_expr)
+            return Store(ptr=Var(name), index=index, value=value_expr)
+        # plain assignment / compound assignment / ++ / --
+        if self.accept("op", "++"):
+            return Assign(name, BinOp("+", Var(name), Const(1)))
+        if self.accept("op", "--"):
+            return Assign(name, BinOp("-", Var(name), Const(1)))
+        return Assign(name, self._parse_rhs_for(Var(name)))
+
+    def _indexed_read(self, name: str, index: Expr) -> Expr:
+        if name in self.shared_names:
+            return SharedLoad(array=name, index=copy.deepcopy(index))
+        return Load(ptr=Var(name), index=copy.deepcopy(index))
+
+    def _parse_rhs_for(self, target_read: Expr) -> Expr:
+        """Parse ``= e`` or a compound assignment ``op= e``."""
+        for op_text, op in (("+=", "+"), ("-=", "-"), ("*=", "*"), ("/=", "/")):
+            if self.accept("op", op_text):
+                return BinOp(op, target_read, self.parse_expr())
+        self.expect("op", "=")
+        return self.parse_expr()
+
+    def parse_atomic_add(self) -> AtomicAdd:
+        self.expect("ident", "atomicAdd")
+        self.expect("op", "(")
+        self.expect("op", "&")
+        name = self.expect("ident").text
+        self.expect("op", "[")
+        index = self.parse_expr()
+        self.expect("op", "]")
+        self.expect("op", ",")
+        value = self.parse_expr()
+        self.expect("op", ")")
+        if name in self.shared_names:
+            return AtomicAdd(space="shared", array=name, index=index, value=value)
+        return AtomicAdd(space="global", target=Var(name), index=index, value=value)
+
+    def parse_libcall(self) -> CallStmt:
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        args: List[Expr] = []
+        if not self.check("op", ")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return CallStmt(func=name, args=args)
+
+    # -- expressions (precedence climbing) ---------------------------
+    _BINARY_LEVELS: Tuple[Tuple[str, ...], ...] = (
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def parse_expr(self) -> Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(self._BINARY_LEVELS):
+            return self.parse_unary()
+        ops = self._BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self.cur.kind == "op" and self.cur.text in ops:
+            op = self.advance().text
+            right = self._parse_binary(level + 1)
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.cur.kind == "op" and self.cur.text in ("-", "!", "~"):
+            op = self.advance().text
+            operand = self.parse_unary()
+            if op == "-" and isinstance(operand, Const) and isinstance(operand.value, (int, float)):
+                return Const(-operand.value)
+            return UnOp(op, operand)
+        if self.accept("op", "+"):
+            return self.parse_unary()
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        e = self.parse_primary()
+        while self.check("op", "["):
+            self.advance()
+            index = self.parse_expr()
+            self.expect("op", "]")
+            if isinstance(e, Var) and e.name in self.shared_names:
+                e = SharedLoad(array=e.name, index=index)
+            else:
+                e = Load(ptr=e, index=index)
+        return e
+
+    def parse_primary(self) -> Expr:
+        if self.accept("op", "("):
+            e = self.parse_expr()
+            self.expect("op", ")")
+            return e
+        tok = self.cur
+        if tok.kind == "int":
+            self.advance()
+            return Const(int(tok.text, 0))
+        if tok.kind == "float":
+            self.advance()
+            return Const(float(tok.text.rstrip("fF")))
+        if tok.kind == "string":
+            self.advance()
+            body = tok.text[1:-1]
+            return Const(body.replace('\\"', '"').replace("\\\\", "\\"))
+        if tok.kind == "kw" and tok.text in ("int", "float"):
+            # cast syntax: int(expr) / float(expr)
+            self.advance()
+            self.expect("op", "(")
+            arg = self.parse_expr()
+            self.expect("op", ")")
+            return Call(tok.text, [arg])
+        if tok.kind == "ident":
+            self.advance()
+            if "." in tok.text:
+                return SpecialReg(tok.text)
+            if self.check("op", "("):
+                self.advance()
+                args: List[Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                if tok.text not in INTRINSICS:
+                    raise KIRParseError(
+                        f"unknown function {tok.text!r} in expression", tok.line, tok.col
+                    )
+                return Call(tok.text, args)
+            return Var(tok.text)
+        raise self.error(f"unexpected token {tok.text!r} in expression")
+
+
+def parse_kernel(source: str, validate: bool = True) -> Kernel:
+    """Parse mini-CUDA source into a (validated) :class:`Kernel`."""
+    kernel = _Parser(tokenize(source)).parse_kernel()
+    if validate:
+        validate_kernel(kernel)
+    return kernel

@@ -1,0 +1,174 @@
+"""Pretty-printer: KIR AST back to mini-CUDA source text.
+
+Used to inspect what the Hauberk translator produced (the paper shows
+instrumented source in Figure 8 and Section V.B) and by round-trip
+tests against the parser.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import KIRError
+from repro.kir.astnodes import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Break,
+    Call,
+    CallStmt,
+    Const,
+    Continue,
+    Decl,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Load,
+    Return,
+    SharedLoad,
+    SharedStore,
+    SpecialReg,
+    Stmt,
+    Store,
+    SyncThreads,
+    UnOp,
+    Var,
+    While,
+)
+
+# Binding strength for parenthesization (C-like).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+_UNARY_PRECEDENCE = 11
+
+
+def format_const(value) -> str:
+    if isinstance(value, str):
+        return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    if isinstance(value, float):
+        text = repr(value)
+        # ensure a float literal stays a float on re-parse
+        if "e" not in text and "E" not in text and "." not in text and "inf" not in text and "nan" not in text:
+            text += ".0"
+        return text
+    return str(value)
+
+
+def expr_to_source(e: Expr, parent_prec: int = 0) -> str:
+    if isinstance(e, Const):
+        return format_const(e.value)
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, SpecialReg):
+        return e.name
+    if isinstance(e, BinOp):
+        prec = _PRECEDENCE[e.op]
+        left = expr_to_source(e.left, prec)
+        # right operand binds tighter to preserve left-associativity
+        right = expr_to_source(e.right, prec + 1)
+        text = f"{left} {e.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(e, UnOp):
+        inner = expr_to_source(e.operand, _UNARY_PRECEDENCE)
+        text = f"{e.op}{inner}"
+        return f"({text})" if _UNARY_PRECEDENCE < parent_prec else text
+    if isinstance(e, Call):
+        args = ", ".join(expr_to_source(a) for a in e.args)
+        return f"{e.func}({args})"
+    if isinstance(e, Load):
+        base = expr_to_source(e.ptr, _UNARY_PRECEDENCE + 1)
+        return f"{base}[{expr_to_source(e.index)}]"
+    if isinstance(e, SharedLoad):
+        return f"{e.array}[{expr_to_source(e.index)}]"
+    raise KIRError(f"cannot print expression {type(e).__name__}")
+
+
+def _stmt_lines(stmt: Stmt, indent: int) -> List[str]:
+    pad = "    " * indent
+    if isinstance(stmt, Decl):
+        return [f"{pad}{stmt.var_dtype.value} {stmt.name} = {expr_to_source(stmt.init)};"]
+    if isinstance(stmt, Assign):
+        return [f"{pad}{stmt.name} = {expr_to_source(stmt.value)};"]
+    if isinstance(stmt, Store):
+        base = expr_to_source(stmt.ptr, _UNARY_PRECEDENCE + 1)
+        return [f"{pad}{base}[{expr_to_source(stmt.index)}] = {expr_to_source(stmt.value)};"]
+    if isinstance(stmt, SharedStore):
+        return [f"{pad}{stmt.array}[{expr_to_source(stmt.index)}] = {expr_to_source(stmt.value)};"]
+    if isinstance(stmt, AtomicAdd):
+        if stmt.space == "shared":
+            target = f"{stmt.array}[{expr_to_source(stmt.index)}]"
+        else:
+            base = expr_to_source(stmt.target, _UNARY_PRECEDENCE + 1)
+            target = f"{base}[{expr_to_source(stmt.index)}]"
+        return [f"{pad}atomicAdd(&{target}, {expr_to_source(stmt.value)});"]
+    if isinstance(stmt, For):
+        init = ""
+        if stmt.init is not None:
+            init = f"{stmt.init.var_dtype.value} {stmt.init.name} = {expr_to_source(stmt.init.init)}"
+        update = ""
+        if stmt.update is not None:
+            update = f"{stmt.update.name} = {expr_to_source(stmt.update.value)}"
+        lines = [f"{pad}for ({init}; {expr_to_source(stmt.cond)}; {update}) {{"]
+        for s in stmt.body:
+            lines.extend(_stmt_lines(s, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, While):
+        lines = [f"{pad}while ({expr_to_source(stmt.cond)}) {{"]
+        for s in stmt.body:
+            lines.extend(_stmt_lines(s, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({expr_to_source(stmt.cond)}) {{"]
+        for s in stmt.then:
+            lines.extend(_stmt_lines(s, indent + 1))
+        if stmt.els:
+            lines.append(f"{pad}}} else {{")
+            for s in stmt.els:
+                lines.extend(_stmt_lines(s, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, Break):
+        return [f"{pad}break;"]
+    if isinstance(stmt, Continue):
+        return [f"{pad}continue;"]
+    if isinstance(stmt, Return):
+        return [f"{pad}return;"]
+    if isinstance(stmt, SyncThreads):
+        return [f"{pad}__syncthreads();"]
+    if isinstance(stmt, CallStmt):
+        args = ", ".join(expr_to_source(a) for a in stmt.args)
+        return [f"{pad}{stmt.func}({args});"]
+    raise KIRError(f"cannot print statement {type(stmt).__name__}")
+
+
+def kernel_to_source(kernel: Kernel) -> str:
+    """Render a kernel as mini-CUDA source text (parser round-trippable)."""
+    params = ", ".join(f"{p.dtype.value} {p.name}" for p in kernel.params)
+    lines = [f"kernel {kernel.name}({params}) {{"]
+    for s in kernel.shared:
+        lines.append(f"    shared {s.dtype.value} {s.name}[{s.size}];")
+    for stmt in kernel.body:
+        lines.extend(_stmt_lines(stmt, 1))
+    lines.append("}")
+    return "\n".join(lines)

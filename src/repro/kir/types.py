@@ -1,0 +1,98 @@
+"""Static types of the kernel IR.
+
+The paper classifies GPU program state into three data types — pointer,
+integer, and FP (Figure 1) — and reports per-type error sensitivity.
+KIR carries exactly those three classes (plus a string type used only
+by instrumentation-library call arguments).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import KIRTypeError
+
+
+class DType(enum.Enum):
+    """Scalar type of a KIR value (all 32-bit, as in the paper's GPUs)."""
+
+    INT32 = "int"
+    FLOAT32 = "float"
+    #: Pointer into the flat device word address space.
+    PTR_INT32 = "int*"
+    PTR_FLOAT32 = "float*"
+    #: Used only for literal arguments of instrumentation-library calls.
+    STR = "str"
+
+    # ------------------------------------------------------------------
+    @property
+    def is_pointer(self) -> bool:
+        return self in (DType.PTR_INT32, DType.PTR_FLOAT32)
+
+    @property
+    def is_float(self) -> bool:
+        return self is DType.FLOAT32
+
+    @property
+    def is_int(self) -> bool:
+        return self is DType.INT32
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DType.INT32, DType.FLOAT32)
+
+    @property
+    def element(self) -> "DType":
+        """Element type of a pointer type."""
+        if self is DType.PTR_INT32:
+            return DType.INT32
+        if self is DType.PTR_FLOAT32:
+            return DType.FLOAT32
+        raise KIRTypeError(f"{self} is not a pointer type")
+
+    @property
+    def sensitivity_class(self) -> str:
+        """The Figure 1 data-type class: 'pointer', 'integer', or 'fp'."""
+        if self.is_pointer:
+            return "pointer"
+        if self is DType.INT32:
+            return "integer"
+        if self is DType.FLOAT32:
+            return "fp"
+        raise KIRTypeError(f"{self} has no sensitivity class")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def parse_dtype(text: str) -> DType:
+    """Parse a C-like type spelling into a :class:`DType`."""
+    mapping = {
+        "int": DType.INT32,
+        "float": DType.FLOAT32,
+        "int*": DType.PTR_INT32,
+        "float*": DType.PTR_FLOAT32,
+    }
+    try:
+        return mapping[text.replace(" ", "")]
+    except KeyError:
+        raise KIRTypeError(f"unknown type spelling {text!r}") from None
+
+
+def promote(a: DType, b: DType) -> DType:
+    """Usual arithmetic conversion for a binary operation.
+
+    Pointer arithmetic (``ptr + int``) yields the pointer type; mixed
+    int/float yields float, matching C semantics.
+    """
+    if a is DType.STR or b is DType.STR:
+        raise KIRTypeError("string values are not arithmetic")
+    if a.is_pointer and b is DType.INT32:
+        return a
+    if b.is_pointer and a is DType.INT32:
+        return b
+    if a.is_pointer or b.is_pointer:
+        raise KIRTypeError(f"invalid pointer arithmetic between {a} and {b}")
+    if DType.FLOAT32 in (a, b):
+        return DType.FLOAT32
+    return DType.INT32

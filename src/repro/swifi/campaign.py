@@ -1,0 +1,148 @@
+"""Campaign runner: many single-fault trials, classified and tallied.
+
+The paper runs ~10,000 experiments per application — each executes the
+program once and injects exactly one fault (Section VIII).  A
+:class:`Campaign` does the same against any trial runner; the workload
+layer supplies the runner (set up device memory, launch, read output,
+check correctness).  Campaign sizes here are scaled down and fully
+seeded; see ``repro.harness.config.ExperimentScale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bits import MaskGenerator
+from repro.errors import InjectionError
+from repro.kir.analysis.dataflow import SiteInfo
+from repro.swifi.faultmodel import FaultSpec
+from repro.swifi.outcomes import Outcome, OutcomeCounts, classify_outcome
+
+
+@dataclass
+class TrialObservation:
+    """Raw observations from running the program once under a fault."""
+
+    failure: bool
+    detected: bool
+    output_ok: bool
+    activated: bool
+    #: Optional carrier for extra data (e.g. failure reason).
+    note: str = ""
+
+
+@dataclass
+class TrialResult:
+    spec: FaultSpec
+    outcome: Outcome
+    observation: TrialObservation
+
+
+@dataclass
+class CampaignResult:
+    """All trials of one campaign plus the tally."""
+
+    trials: List[TrialResult] = field(default_factory=list)
+    counts: OutcomeCounts = field(default_factory=OutcomeCounts)
+
+    def add(self, trial: TrialResult) -> None:
+        self.trials.append(trial)
+        self.counts.add(trial.outcome)
+
+    @property
+    def activation_ratio(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(t.observation.activated for t in self.trials) / len(self.trials)
+
+    def filter(self, predicate: Callable[[TrialResult], bool]) -> "CampaignResult":
+        sub = CampaignResult()
+        for t in self.trials:
+            if predicate(t):
+                sub.add(t)
+        return sub
+
+    def by_bits(self, n_bits: int) -> "CampaignResult":
+        return self.filter(lambda t: t.spec.n_bits == n_bits)
+
+
+class Campaign:
+    """Drives single-fault trials through a runner callable.
+
+    ``runner(spec)`` must execute the whole program once with the fault
+    armed (or pristine when ``spec`` is None) and report a
+    :class:`TrialObservation`.
+    """
+
+    def __init__(self, runner: Callable[[Optional[FaultSpec]], TrialObservation]):
+        self.runner = runner
+
+    def golden_check(self) -> TrialObservation:
+        """Run once with no fault; used to sanity-check the runner."""
+        obs = self.runner(None)
+        if obs.failure or not obs.output_ok:
+            raise InjectionError(
+                f"fault-free run is not clean (failure={obs.failure}, "
+                f"ok={obs.output_ok}): campaign would be meaningless"
+            )
+        return obs
+
+    def run(self, specs: Iterable[FaultSpec]) -> CampaignResult:
+        result = CampaignResult()
+        for spec in specs:
+            obs = self.runner(spec)
+            outcome = classify_outcome(obs.failure, obs.detected, obs.output_ok)
+            result.add(TrialResult(spec=spec, outcome=outcome, observation=obs))
+        return result
+
+
+def build_fault_specs(
+    sites: Sequence[SiteInfo],
+    n_threads: int,
+    masks_per_site: int = 50,
+    bit_counts: Sequence[int] = (1,),
+    seed: int = 0,
+    max_loop_occurrence: int = 8,
+    max_delay_events: int = 48,
+) -> List[FaultSpec]:
+    """Random single-fault plan over the given sites (Section VIII).
+
+    For each site, ``masks_per_site`` random masks are drawn with bit
+    counts cycling through ``bit_counts``; the victim thread is uniform
+    over the grid.  Injection *time* (Figure 12): in-loop definitions
+    get a uniform dynamic occurrence in ``[1, max_loop_occurrence]``;
+    parameters — defined once, before every use — get *delayed* timing,
+    striking at a uniform point of the thread's execution so that
+    already-consumed values escape (without this, every pointer fault
+    would precede every dereference and the failure ratio would be
+    wildly overstated vs. Figure 1).
+    """
+    if n_threads <= 0:
+        raise InjectionError(f"n_threads must be positive, got {n_threads}")
+    rng = np.random.default_rng(seed)
+    masks = MaskGenerator(seed=seed + 1)
+    specs: List[FaultSpec] = []
+    for info in sites:
+        for j in range(masks_per_site):
+            nbits = bit_counts[j % len(bit_counts)]
+            occurrence = 1
+            timing = "definition"
+            if info.kind == "param":
+                timing = "delayed"
+                occurrence = int(rng.integers(1, max_delay_events + 1))
+            elif info.in_loop and max_loop_occurrence > 1:
+                occurrence = int(rng.integers(1, max_loop_occurrence + 1))
+            specs.append(
+                FaultSpec(
+                    site=info.site,
+                    mask=masks.masks(1, nbits)[0],
+                    thread=int(rng.integers(0, n_threads)),
+                    occurrence=occurrence,
+                    timing=timing,
+                    label=f"{info.name}#{j}",
+                )
+            )
+    return specs

@@ -1,0 +1,89 @@
+"""Fault-injection outcome taxonomy (paper Section VIII).
+
+Five classes: (i) *failure* — kernel crash caught by the GPU runtime
+or hang caught by the guardian; (ii) *masked* — output still meets the
+correctness requirement and no alarm; (iii) *detected & masked* — an
+alarm fired but the output is actually fine (needs a diagnosis
+re-execution in practice); (iv) *detected* — alarm fired and the
+output really violates correctness; (v) *undetected* — an SDC: wrong
+output, no alarm.
+
+Error detection coverage p = 1 - P(undetected): "a fault ... can be
+either detected or masked with probability p".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Outcome(enum.Enum):
+    FAILURE = "failure"
+    MASKED = "masked"
+    DETECTED_MASKED = "detected_masked"
+    DETECTED = "detected"
+    UNDETECTED = "undetected"
+
+
+def classify_outcome(failure: bool, detected: bool, output_ok: bool) -> Outcome:
+    """Map one trial's observations to the paper's five classes."""
+    if failure:
+        return Outcome.FAILURE
+    if detected and output_ok:
+        return Outcome.DETECTED_MASKED
+    if detected:
+        return Outcome.DETECTED
+    if output_ok:
+        return Outcome.MASKED
+    return Outcome.UNDETECTED
+
+
+@dataclass
+class OutcomeCounts:
+    """Tally of outcomes with the paper's derived ratios."""
+
+    counts: Dict[Outcome, int] = field(
+        default_factory=lambda: {o: 0 for o in Outcome}
+    )
+
+    def add(self, outcome: Outcome) -> None:
+        self.counts[outcome] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, outcome: Outcome) -> float:
+        total = self.total
+        return self.counts[outcome] / total if total else 0.0
+
+    @property
+    def sdc_ratio(self) -> float:
+        """Fraction of injections that escaped as silent data corruption."""
+        return self.fraction(Outcome.UNDETECTED)
+
+    @property
+    def coverage(self) -> float:
+        """Detection coverage: 1 - SDC ratio (detected *or* masked)."""
+        return 1.0 - self.sdc_ratio
+
+    @property
+    def failure_ratio(self) -> float:
+        return self.fraction(Outcome.FAILURE)
+
+    @property
+    def detected_ratio(self) -> float:
+        return self.fraction(Outcome.DETECTED) + self.fraction(Outcome.DETECTED_MASKED)
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {o.value: self.fraction(o) for o in Outcome}
+        out["coverage"] = self.coverage
+        return out
+
+    def merge(self, other: "OutcomeCounts") -> "OutcomeCounts":
+        merged = OutcomeCounts()
+        for o in Outcome:
+            merged.counts[o] = self.counts[o] + other.counts[o]
+        return merged

@@ -1,0 +1,52 @@
+"""Fault-injection target enumeration and sampling.
+
+"20-50 virtual variables are selected in each benchmark program and
+faults are injected into each of the selected virtual variables"
+(Section VIII).  Targets are the kernel's virtual-variable sites —
+parameters (where pointer corruption typically lands) and every
+Decl/Assign definition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InjectionError
+from repro.kir.analysis.dataflow import SiteInfo, collect_sites
+from repro.kir.astnodes import Kernel
+
+
+def enumerate_targets(
+    kernel: Kernel, classes: Optional[Sequence[str]] = None
+) -> List[SiteInfo]:
+    """All injectable sites, optionally filtered by sensitivity class.
+
+    ``classes`` may contain any of ``"pointer"``, ``"integer"``,
+    ``"fp"`` (the Figure 1 categories).
+    """
+    sites = collect_sites(kernel)
+    if classes is None:
+        return sites
+    wanted = set(classes)
+    unknown = wanted - {"pointer", "integer", "fp"}
+    if unknown:
+        raise InjectionError(f"unknown sensitivity classes {sorted(unknown)}")
+    return [s for s in sites if s.sensitivity_class in wanted]
+
+
+def select_targets(
+    kernel: Kernel,
+    max_targets: int,
+    rng: np.random.Generator,
+    classes: Optional[Sequence[str]] = None,
+) -> List[SiteInfo]:
+    """Sample up to ``max_targets`` sites without replacement."""
+    if max_targets <= 0:
+        raise InjectionError(f"max_targets must be positive, got {max_targets}")
+    sites = enumerate_targets(kernel, classes)
+    if len(sites) <= max_targets:
+        return sites
+    picks = rng.choice(len(sites), size=max_targets, replace=False)
+    return [sites[int(i)] for i in sorted(picks)]

@@ -1,0 +1,46 @@
+"""Value tracing through FI hooks (used by the Figure 10 study).
+
+The same per-definition hooks the injector uses can *observe* instead
+of corrupt: :class:`ValueTraceLibrary` records every value defined at
+every site (optionally subsampled), giving the per-variable value
+distributions of Figure 10 without touching the kernel further.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.kir.analysis.dataflow import SiteInfo, collect_sites
+from repro.kir.astnodes import Kernel
+from repro.kir.interp.evalcore import ExecContext, InstrumentationLibrary
+
+
+class ValueTraceLibrary(InstrumentationLibrary):
+    """Records defined values per virtual-variable site."""
+
+    def __init__(self, kernel: Kernel, sample_every: int = 1, max_per_site: int = 100_000):
+        self.sites: Dict[int, SiteInfo] = {s.site: s for s in collect_sites(kernel)}
+        self.sample_every = max(1, sample_every)
+        self.max_per_site = max_per_site
+        self.values: Dict[int, List[float]] = defaultdict(list)
+        self._counter: Dict[int, int] = defaultdict(int)
+
+    def lib_fi(self, ctx: ExecContext, frame: dict, site: int, name: str) -> None:
+        self._counter[site] += 1
+        if self._counter[site] % self.sample_every:
+            return
+        bucket = self.values[site]
+        if len(bucket) < self.max_per_site:
+            value = frame[name]
+            bucket.append(float(value))
+
+    def by_name(self) -> Dict[str, List[float]]:
+        """Traced values grouped by variable name (multiple sites merge)."""
+        out: Dict[str, List[float]] = defaultdict(list)
+        for site, values in self.values.items():
+            out[self.sites[site].name].extend(values)
+        return dict(out)
+
+    def site_class(self, site: int) -> str:
+        return self.sites[site].sensitivity_class

@@ -1,0 +1,34 @@
+"""Benchmark programs: the paper's seven Parboil HPC workloads plus
+two 3D-graphics programs, re-implemented as KIR kernels with NumPy
+golden references and the paper's per-program output-correctness
+requirements (Section IX.B).
+"""
+
+from repro.workloads.base import Workload, WorkloadInput, get_workload, all_workloads
+from repro.workloads.spec import ToleranceSpec, exact_spec
+from repro.workloads.cp import CPWorkload
+from repro.workloads.mri_q import MRIQWorkload
+from repro.workloads.mri_fhd import MRIFHDWorkload
+from repro.workloads.pns import PNSWorkload
+from repro.workloads.rpes import RPESWorkload
+from repro.workloads.sad import SADWorkload
+from repro.workloads.tpacf import TPACFWorkload
+from repro.workloads.graphics import OceanWorkload, RayTraceWorkload
+
+__all__ = [
+    "Workload",
+    "WorkloadInput",
+    "get_workload",
+    "all_workloads",
+    "ToleranceSpec",
+    "exact_spec",
+    "CPWorkload",
+    "MRIQWorkload",
+    "MRIFHDWorkload",
+    "PNSWorkload",
+    "RPESWorkload",
+    "SADWorkload",
+    "TPACFWorkload",
+    "OceanWorkload",
+    "RayTraceWorkload",
+]

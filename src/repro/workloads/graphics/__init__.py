@@ -1,0 +1,20 @@
+"""3D graphics GPU programs (Section II, Figure 3).
+
+Two GPU-SDK-style demos — an ocean-flow height-field renderer and a
+sphere ray tracer — with the paper's graphics notion of SDC: "a
+user-noticeable corruption in video output data".  A transient fault
+corrupting a single value makes an unnoticeable one-frame spike
+(Figure 3a); an intermittent fault corrupting ~10,000 values forms a
+prominent stripe (Figure 3b).
+"""
+
+from repro.workloads.graphics.perceptual import PerceptualSpec, frame_corruption_stats
+from repro.workloads.graphics.ocean import OceanWorkload
+from repro.workloads.graphics.raytrace import RayTraceWorkload
+
+__all__ = [
+    "PerceptualSpec",
+    "frame_corruption_stats",
+    "OceanWorkload",
+    "RayTraceWorkload",
+]

@@ -1,0 +1,97 @@
+"""Ocean-flow simulation renderer (the GPU SDK demo of Figure 3).
+
+Each thread shades one pixel of a height-field frame as a sum of
+directional gravity waves over an input spectrum.  A corrupted
+spectrum value streaks across the frame exactly like the paper's
+Figure 3: one corrupted value -> a local spike; ~10,000 corrupted
+values -> a prominent stripe pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kir.types import DType
+from repro.workloads.base import BufferSpec, Workload, WorkloadInput, register_workload
+from repro.workloads.graphics.perceptual import PerceptualSpec
+
+
+@register_workload
+class OceanWorkload(Workload):
+    name = "OCEAN"
+    spec = PerceptualSpec()
+    paper_scale_bytes = {
+        "fp": 512 * 512 * 4.0 * 2,
+        "integer": 64.0,
+        "pointer": 8.0,
+    }
+
+    source = """
+kernel ocean(float* spectrum, float* frame, int width, int height,
+             int nwaves, float t) {
+    int px = blockIdx.x * blockDim.x + threadIdx.x;
+    int py = blockIdx.y * blockDim.y + threadIdx.y;
+    if ((px < width) && (py < height)) {
+        float x = float(px) / float(width);
+        float y = float(py) / float(height);
+        float h = 0.0;
+        for (int w = 0; w < nwaves; w++) {
+            float kx = spectrum[w * 4];
+            float ky = spectrum[w * 4 + 1];
+            float amp = spectrum[w * 4 + 2];
+            float phase = spectrum[w * 4 + 3];
+            h = h + amp * sin(kx * x + ky * y + phase + t * sqrt(kx * kx + ky * ky));
+        }
+        frame[py * width + px] = h * 0.5 + 0.5;
+    }
+}
+"""
+
+    def __init__(self, width: int = 24, height: int = 16, nwaves: int = 8):
+        super().__init__()
+        self.width = width
+        self.height = height
+        self.nwaves = nwaves
+
+    def generate_input(self, seed: int = 0) -> WorkloadInput:
+        rng = np.random.default_rng(seed + 8000)
+        spectrum = np.empty((self.nwaves, 4), dtype=np.float32)
+        spectrum[:, 0] = rng.uniform(2.0, 24.0, self.nwaves)  # kx
+        spectrum[:, 1] = rng.uniform(2.0, 24.0, self.nwaves)  # ky
+        spectrum[:, 2] = rng.uniform(0.02, 0.2, self.nwaves)  # amplitude
+        spectrum[:, 3] = rng.uniform(0.0, 6.28, self.nwaves)  # phase
+        t = 0.35
+        bx, by = 8, 4
+        gx = (self.width + bx - 1) // bx
+        gy = (self.height + by - 1) // by
+        return WorkloadInput(
+            buffers=[
+                BufferSpec("spectrum", DType.FLOAT32, 4 * self.nwaves,
+                           spectrum.reshape(-1)),
+                BufferSpec("frame", DType.FLOAT32, self.width * self.height,
+                           np.zeros(self.width * self.height, dtype=np.float32)),
+            ],
+            scalars={"width": self.width, "height": self.height,
+                     "nwaves": self.nwaves, "t": t},
+            buffer_params={"spectrum": "spectrum", "frame": "frame"},
+            outputs=["frame"],
+            grid=(gx, gy),
+            block=(bx, by),
+            meta={"spectrum": spectrum, "t": t},
+        )
+
+    def golden(self, inp: WorkloadInput) -> np.ndarray:
+        spec = inp.meta["spectrum"].astype(np.float64)
+        t = float(inp.meta["t"])  # scalar args stay float64 end-to-end
+        xs = np.arange(self.width, dtype=np.float64) / float(self.width)
+        ys = np.arange(self.height, dtype=np.float64) / float(self.height)
+        frame = np.zeros((self.height, self.width))
+        for kx, ky, amp, phase in spec:
+            k = np.sqrt(kx * kx + ky * ky)
+            frame += amp * np.sin(kx * xs[None, :] + ky * ys[:, None] + phase + t * k)
+        out = frame * 0.5 + 0.5
+        return out.reshape(-1).astype(np.float32).astype(np.float64)
+
+    def render_frame(self, output: np.ndarray) -> np.ndarray:
+        """Reshape a flat output into a (height, width) frame."""
+        return np.asarray(output).reshape(self.height, self.width)

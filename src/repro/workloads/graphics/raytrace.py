@@ -1,0 +1,127 @@
+"""Ray tracer (the second GPU SDK graphics program of Section II).
+
+One thread per pixel: a primary ray from an orthographic camera is
+intersected with a small set of spheres; hits get Lambertian shading
+from a directional light, misses get a vertical background gradient.
+Heavy on FP compare/sqrt — the classic shape whose FP faults shift a
+pixel's shade without crashing anything (Observation 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kir.types import DType
+from repro.workloads.base import BufferSpec, Workload, WorkloadInput, register_workload
+from repro.workloads.graphics.perceptual import PerceptualSpec
+
+
+@register_workload
+class RayTraceWorkload(Workload):
+    name = "RAYTRACE"
+    spec = PerceptualSpec()
+    paper_scale_bytes = {
+        "fp": 1024 * 768 * 4.0 + 64 * 7 * 4.0,
+        "integer": 32.0,
+        "pointer": 8.0,
+    }
+
+    source = """
+kernel raytrace(float* spheres, float* frame, int width, int height,
+                int nspheres) {
+    int px = blockIdx.x * blockDim.x + threadIdx.x;
+    int py = blockIdx.y * blockDim.y + threadIdx.y;
+    if ((px < width) && (py < height)) {
+        float ox = (float(px) + 0.5) / float(width) * 2.0 - 1.0;
+        float oy = (float(py) + 0.5) / float(height) * 2.0 - 1.0;
+        float shade = 0.15 + 0.2 * (oy * 0.5 + 0.5);
+        float best = 1000000.0;
+        for (int s = 0; s < nspheres; s++) {
+            float cx = spheres[s * 5];
+            float cy = spheres[s * 5 + 1];
+            float cz = spheres[s * 5 + 2];
+            float rad = spheres[s * 5 + 3];
+            float albedo = spheres[s * 5 + 4];
+            float dx = ox - cx;
+            float dy = oy - cy;
+            float disc = rad * rad - (dx * dx + dy * dy);
+            if (disc > 0.0) {
+                float thit = cz - sqrt(disc);
+                if (thit < best) {
+                    best = thit;
+                    float nz = sqrt(disc) / rad;
+                    float nxl = dx / rad;
+                    float nyl = dy / rad;
+                    float lambert = nz * 0.8 + nxl * 0.4 - nyl * 0.45;
+                    shade = albedo * fmax(lambert, 0.05);
+                }
+            }
+        }
+        frame[py * width + px] = fmin(fmax(shade, 0.0), 1.0);
+    }
+}
+"""
+
+    def __init__(self, width: int = 24, height: int = 16, nspheres: int = 4):
+        super().__init__()
+        self.width = width
+        self.height = height
+        self.nspheres = nspheres
+
+    def generate_input(self, seed: int = 0) -> WorkloadInput:
+        rng = np.random.default_rng(seed + 9000)
+        spheres = np.empty((self.nspheres, 5), dtype=np.float32)
+        spheres[:, 0] = rng.uniform(-0.7, 0.7, self.nspheres)  # cx
+        spheres[:, 1] = rng.uniform(-0.7, 0.7, self.nspheres)  # cy
+        spheres[:, 2] = rng.uniform(2.0, 5.0, self.nspheres)  # cz (depth)
+        spheres[:, 3] = rng.uniform(0.25, 0.6, self.nspheres)  # radius
+        spheres[:, 4] = rng.uniform(0.4, 1.0, self.nspheres)  # albedo
+        bx, by = 8, 4
+        gx = (self.width + bx - 1) // bx
+        gy = (self.height + by - 1) // by
+        return WorkloadInput(
+            buffers=[
+                BufferSpec("spheres", DType.FLOAT32, 5 * self.nspheres,
+                           spheres.reshape(-1)),
+                BufferSpec("frame", DType.FLOAT32, self.width * self.height,
+                           np.zeros(self.width * self.height, dtype=np.float32)),
+            ],
+            scalars={"width": self.width, "height": self.height,
+                     "nspheres": self.nspheres},
+            buffer_params={"spheres": "spheres", "frame": "frame"},
+            outputs=["frame"],
+            grid=(gx, gy),
+            block=(bx, by),
+            meta={"spheres": spheres},
+        )
+
+    def golden(self, inp: WorkloadInput) -> np.ndarray:
+        spheres = inp.meta["spheres"].astype(np.float64)
+        w, h = self.width, self.height
+        px = np.arange(w, dtype=np.float64)
+        py = np.arange(h, dtype=np.float64)
+        ox = (px[None, :] + 0.5) / w * 2.0 - 1.0
+        oy = (py[:, None] + 0.5) / h * 2.0 - 1.0
+        ox = np.broadcast_to(ox, (h, w)).copy()
+        oy = np.broadcast_to(oy, (h, w)).copy()
+        shade = 0.15 + 0.2 * (oy * 0.5 + 0.5)
+        best = np.full((h, w), 1000000.0)
+        for cx, cy, cz, rad, albedo in spheres:
+            dx = ox - cx
+            dy = oy - cy
+            disc = rad * rad - (dx * dx + dy * dy)
+            hit = disc > 0.0
+            sq = np.sqrt(np.where(hit, disc, 0.0))
+            thit = cz - sq
+            closer = hit & (thit < best)
+            best = np.where(closer, thit, best)
+            nz = sq / rad
+            nxl = dx / rad
+            nyl = dy / rad
+            lambert = nz * 0.8 + nxl * 0.4 - nyl * 0.45
+            shade = np.where(closer, albedo * np.maximum(lambert, 0.05), shade)
+        out = np.clip(shade, 0.0, 1.0)
+        return out.reshape(-1).astype(np.float32).astype(np.float64)
+
+    def render_frame(self, output: np.ndarray) -> np.ndarray:
+        return np.asarray(output).reshape(self.height, self.width)

@@ -1,0 +1,117 @@
+"""MRI-Q — magnetic resonance image reconstruction, Q matrix (Parboil).
+
+For every voxel the kernel sums, over all k-space samples,
+``|phi_k|^2 * exp(2*pi*i * k.x)`` split into real/imaginary parts.
+Two self-accumulating FP variables per thread; value distributions of
+the kernel's variables exhibit the three correlation points of
+Figure 10 (negative / near-zero / positive clusters).
+
+The paper quotes MRI-Q's correctness requirement as
+``Max{1e-4 Max{|GR|}, 0.2% |GR_i|}`` (Section IX.B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kir.types import DType
+from repro.workloads.base import (
+    BufferSpec,
+    Workload,
+    WorkloadInput,
+    register_workload,
+)
+from repro.workloads.spec import MRIQ_SPEC
+
+TWO_PI = 6.283185307179586
+
+
+@register_workload
+class MRIQWorkload(Workload):
+    name = "MRI-Q"
+    spec = MRIQ_SPEC
+    # Parboil mri-q large: 2048^2 k-space samples x 5 floats, 32^3 voxels
+    paper_scale_bytes = {
+        "fp": (2048 * 2048 * 5 + 3 * 32768 + 2 * 32768) * 4.0,
+        "integer": 8.0,
+        "pointer": 40.0,
+    }
+
+    source = """
+kernel mriq(float* kx, float* ky, float* kz, float* x, float* y, float* z,
+            float* phiR, float* phiI, float* Qr, float* Qi,
+            int numk, int numx) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    if (t < numx) {
+        float xl = x[t];
+        float yl = y[t];
+        float zl = z[t];
+        float qr = 0.0;
+        float qi = 0.0;
+        for (int k = 0; k < numk; k++) {
+            float phimag = phiR[k] * phiR[k] + phiI[k] * phiI[k];
+            float arg = 6.283185307179586 * (kx[k] * xl + ky[k] * yl + kz[k] * zl);
+            qr = qr + phimag * cos(arg);
+            qi = qi + phimag * sin(arg);
+        }
+        Qr[t] = qr;
+        Qi[t] = qi;
+    }
+}
+"""
+
+    def __init__(self, numk: int = 24, numx: int = 96):
+        super().__init__()
+        self.numk = numk
+        self.numx = numx
+
+    def generate_input(self, seed: int = 0) -> WorkloadInput:
+        rng = np.random.default_rng(seed + 2000)
+        kx = rng.uniform(-0.5, 0.5, self.numk).astype(np.float32)
+        ky = rng.uniform(-0.5, 0.5, self.numk).astype(np.float32)
+        kz = rng.uniform(-0.5, 0.5, self.numk).astype(np.float32)
+        x = rng.uniform(-1.0, 1.0, self.numx).astype(np.float32)
+        y = rng.uniform(-1.0, 1.0, self.numx).astype(np.float32)
+        z = rng.uniform(-1.0, 1.0, self.numx).astype(np.float32)
+        phi_r = rng.normal(0.0, 1.0, self.numk).astype(np.float32)
+        phi_i = rng.normal(0.0, 1.0, self.numk).astype(np.float32)
+        bx = 32
+        gx = (self.numx + bx - 1) // bx
+        buffers = [
+            BufferSpec("kx", DType.FLOAT32, self.numk, kx),
+            BufferSpec("ky", DType.FLOAT32, self.numk, ky),
+            BufferSpec("kz", DType.FLOAT32, self.numk, kz),
+            BufferSpec("x", DType.FLOAT32, self.numx, x),
+            BufferSpec("y", DType.FLOAT32, self.numx, y),
+            BufferSpec("z", DType.FLOAT32, self.numx, z),
+            BufferSpec("phiR", DType.FLOAT32, self.numk, phi_r),
+            BufferSpec("phiI", DType.FLOAT32, self.numk, phi_i),
+            BufferSpec("Qr", DType.FLOAT32, self.numx,
+                       np.zeros(self.numx, dtype=np.float32)),
+            BufferSpec("Qi", DType.FLOAT32, self.numx,
+                       np.zeros(self.numx, dtype=np.float32)),
+        ]
+        return WorkloadInput(
+            buffers=buffers,
+            scalars={"numk": self.numk, "numx": self.numx},
+            buffer_params={b.name: b.name for b in buffers},
+            outputs=["Qr", "Qi"],
+            grid=(gx, 1),
+            block=(bx, 1),
+            meta={
+                "k": np.stack([kx, ky, kz]).astype(np.float64),
+                "r": np.stack([x, y, z]).astype(np.float64),
+                "phi": (phi_r.astype(np.float64), phi_i.astype(np.float64)),
+            },
+        )
+
+    def golden(self, inp: WorkloadInput) -> np.ndarray:
+        k = inp.meta["k"]  # (3, numk)
+        r = inp.meta["r"]  # (3, numx)
+        phi_r, phi_i = inp.meta["phi"]
+        phimag = phi_r * phi_r + phi_i * phi_i  # (numk,)
+        arg = TWO_PI * (k.T @ r)  # (numk, numx)
+        qr = (phimag[:, None] * np.cos(arg)).sum(axis=0)
+        qi = (phimag[:, None] * np.sin(arg)).sum(axis=0)
+        out = np.concatenate([qr, qi]).astype(np.float32).astype(np.float64)
+        return out

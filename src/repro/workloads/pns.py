@@ -1,0 +1,132 @@
+"""PNS — Petri Net Simulation (Parboil).
+
+Each thread runs an independent stochastic token game on a small
+place/transition net using an LCG random stream, reporting the final
+token count and the number of transition firings.  The protected loop
+variable is an *integer* self-accumulator, which is why PNS has the
+smallest HAUBERK-L overhead ("thanks to the fast integer arithmetic
+speed", Section IX.A).  Its inputs "represent parameters of a fixed
+simulation model", so profiled ranges converge after a handful of
+training sets (Figure 16: PNS reaches ~0 false positives after 7).
+
+Correctness requirement: ``Max{0.01, 1% |GR_i|}`` (Section IX.B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kir.types import DType
+from repro.workloads.base import (
+    BufferSpec,
+    Workload,
+    WorkloadInput,
+    register_workload,
+)
+from repro.workloads.spec import PNS_SPEC
+
+_WRAP = np.int64(1) << 32
+_HALF = np.int64(1) << 31
+
+
+def _wrap_i32_np(x: np.ndarray) -> np.ndarray:
+    """Two's-complement wrap matching the interpreter's wrap_i32."""
+    return ((x + _HALF) % _WRAP) - _HALF
+
+
+@register_workload
+class PNSWorkload(Workload):
+    name = "PNS"
+    spec = PNS_SPEC
+    paper_scale_bytes = {
+        "fp": 1024 * 4.0,
+        "integer": 5_000_000 * 4.0,  # PNS is marking/count dominated
+        "pointer": 8.0,
+    }
+
+    source = """
+kernel pns(int* placeinit, int* results, int nplaces, int steps,
+           int seedbase, int firethresh) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    int rng = seedbase + t * 747796405;
+    int tokens = placeinit[t % nplaces];
+    int fired = 0;
+    for (int s = 0; s < steps; s++) {
+        rng = rng * 1103515245 + 12345;
+        int r = (rng >> 16) & 32767;
+        int place = r % nplaces;
+        int capacity = placeinit[place];
+        int weight = (r >> 5) & 7;
+        int demand = (weight * 3 + place) % 11;
+        int enabled = (tokens + capacity) - demand;
+        if (((r % 100) < firethresh) && (enabled > 0)) {
+            tokens = tokens + 1;
+            fired = fired + 1;
+        } else {
+            if (tokens > 0) {
+                tokens = tokens - 1;
+            }
+        }
+    }
+    results[t * 2] = tokens;
+    results[t * 2 + 1] = fired;
+}
+"""
+
+    def __init__(self, steps: int = 64, nplaces: int = 8, n_threads: int = 96):
+        super().__init__()
+        self.steps = steps
+        self.nplaces = nplaces
+        self.n_threads = n_threads
+
+    def generate_input(self, seed: int = 0) -> WorkloadInput:
+        rng = np.random.default_rng(seed + 4000)
+        placeinit = rng.integers(0, 16, self.nplaces).astype(np.int32)
+        seedbase = int(rng.integers(1, 2**30))
+        firethresh = 60  # fixed model parameter
+        bx = 32
+        gx = (self.n_threads + bx - 1) // bx
+        return WorkloadInput(
+            buffers=[
+                BufferSpec("placeinit", DType.INT32, self.nplaces, placeinit),
+                BufferSpec("results", DType.INT32, 2 * self.n_threads,
+                           np.zeros(2 * self.n_threads, dtype=np.int32)),
+            ],
+            scalars={
+                "nplaces": self.nplaces,
+                "steps": self.steps,
+                "seedbase": seedbase,
+                "firethresh": firethresh,
+            },
+            buffer_params={"placeinit": "placeinit", "results": "results"},
+            outputs=["results"],
+            grid=(gx, 1),
+            block=(bx, 1),
+            meta={"placeinit": placeinit, "seedbase": seedbase,
+                  "firethresh": firethresh},
+        )
+
+    def golden(self, inp: WorkloadInput) -> np.ndarray:
+        placeinit = inp.meta["placeinit"].astype(np.int64)
+        seedbase = np.int64(inp.meta["seedbase"])
+        firethresh = int(inp.meta["firethresh"])
+        n = inp.n_threads
+        t = np.arange(n, dtype=np.int64)
+        rng = _wrap_i32_np(seedbase + t * 747796405)
+        tokens = placeinit[t % self.nplaces].copy()
+        fired = np.zeros(n, dtype=np.int64)
+        for _ in range(self.steps):
+            rng = _wrap_i32_np(rng * 1103515245 + 12345)
+            r = (rng >> 16) & 32767  # arithmetic shift matches wrap_i32
+            place = r % self.nplaces
+            capacity = placeinit[place]
+            weight = (r >> 5) & 7
+            demand = (weight * 3 + place) % 11
+            enabled = (tokens + capacity) - demand
+            fire = ((r % 100) < firethresh) & (enabled > 0)
+            tokens = np.where(fire, tokens + 1, np.maximum(tokens - 1, np.minimum(tokens, 0)))
+            fired += fire
+        out = np.empty(2 * n, dtype=np.int64)
+        out[0::2] = tokens
+        out[1::2] = fired
+        return out.astype(np.float64)

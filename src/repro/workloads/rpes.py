@@ -1,0 +1,151 @@
+"""RPES — Rys Polynomial Equation Solver (Parboil).
+
+The paper's outlier: "a large portion of GPU codes is sequential
+(i.e., non-loop)" — about 75% of RPES's execution time is a long
+scalar preamble (root/weight preparation with many transcendental
+operations) feeding a short quadrature loop.  That makes HAUBERK-NL's
+duplication exceptionally expensive here (Figure 13), and the paper
+notes RPES was later dropped from Parboil for exactly this shape.
+
+Correctness requirement: ``2% |GR_i| + 1e-9`` (Section IX.B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kir.types import DType
+from repro.workloads.base import (
+    BufferSpec,
+    Workload,
+    WorkloadInput,
+    register_workload,
+)
+from repro.workloads.spec import RPES_SPEC
+
+
+@register_workload
+class RPESWorkload(Workload):
+    name = "RPES"
+    spec = RPES_SPEC
+    paper_scale_bytes = {
+        "fp": 1_200_000 * 4.0,
+        "integer": 64.0,
+        "pointer": 16.0,
+    }
+
+    source = """
+kernel rpes(float* shells, float* weights, float* out, int nroots, int npairs) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    if (t < npairs) {
+        float a = shells[t * 4];
+        float b = shells[t * 4 + 1];
+        float cx = shells[t * 4 + 2];
+        float cy = shells[t * 4 + 3];
+        float zeta = a + b;
+        float xi = a * b / zeta;
+        float rho = xi / (xi + 1.0);
+        float dist = cx * cx + cy * cy;
+        float tpar = rho * dist;
+        float e0 = exp(0.0 - tpar);
+        float f0 = sqrt(3.1415926 / (4.0 * tpar + 0.1));
+        float f1 = (f0 - e0) / (2.0 * tpar + 0.1);
+        float f2 = (3.0 * f1 - e0) / (2.0 * tpar + 0.1);
+        float g0 = log(zeta + 1.0);
+        float g1 = exp(0.0 - g0 * 0.5);
+        float g2 = sqrt(g0 + 0.25);
+        float u0 = f0 * g1;
+        float u1 = f1 * g2;
+        float u2 = f2 * g1 * g2;
+        float p0 = u0 + u1 * 0.6666667;
+        float p1 = u1 + u2 * 0.4;
+        float p2 = u2 + u0 * 0.2857143;
+        float q0 = sqrt(p0 * p0 + 0.01);
+        float q1 = sqrt(p1 * p1 + 0.01);
+        float q2 = sqrt(p2 * p2 + 0.01);
+        float w0 = q0 / (q0 + q1 + q2);
+        float w1 = q1 / (q0 + q1 + q2);
+        float w2 = q2 / (q0 + q1 + q2);
+        float root0 = tpar / (tpar + 1.0);
+        float root1 = root0 * 0.5 + 0.1;
+        float root2 = root0 * 0.25 + 0.05;
+        float scale = exp(0.0 - rho) * sqrt(zeta) * (1.0 + root1 * root2);
+        float norm = scale * (w0 * root0 + w1 * root1 + w2 * root2);
+        float acc = 0.0;
+        for (int i = 0; i < nroots; i++) {
+            float wq = weights[i];
+            acc = acc + wq * (root0 + float(i) * 0.125) * norm;
+        }
+        out[t] = acc + u0 * w0;
+    }
+}
+"""
+
+    def __init__(self, nroots: int = 6, npairs: int = 96):
+        super().__init__()
+        self.nroots = nroots
+        self.npairs = npairs
+
+    def generate_input(self, seed: int = 0) -> WorkloadInput:
+        rng = np.random.default_rng(seed + 5000)
+        shells = np.empty((self.npairs, 4), dtype=np.float32)
+        shells[:, 0] = rng.uniform(0.5, 4.0, self.npairs)  # exponent a
+        shells[:, 1] = rng.uniform(0.5, 4.0, self.npairs)  # exponent b
+        shells[:, 2] = rng.uniform(-1.5, 1.5, self.npairs)  # center dx
+        shells[:, 3] = rng.uniform(-1.5, 1.5, self.npairs)  # center dy
+        weights = rng.uniform(0.1, 1.0, self.nroots).astype(np.float32)
+        bx = 32
+        gx = (self.npairs + bx - 1) // bx
+        return WorkloadInput(
+            buffers=[
+                BufferSpec("shells", DType.FLOAT32, 4 * self.npairs,
+                           shells.reshape(-1)),
+                BufferSpec("weights", DType.FLOAT32, self.nroots, weights),
+                BufferSpec("out", DType.FLOAT32, self.npairs,
+                           np.zeros(self.npairs, dtype=np.float32)),
+            ],
+            scalars={"nroots": self.nroots, "npairs": self.npairs},
+            buffer_params={"shells": "shells", "weights": "weights", "out": "out"},
+            outputs=["out"],
+            grid=(gx, 1),
+            block=(bx, 1),
+            meta={"shells": shells, "weights": weights},
+        )
+
+    def golden(self, inp: WorkloadInput) -> np.ndarray:
+        sh = inp.meta["shells"].astype(np.float64)
+        weights = inp.meta["weights"].astype(np.float64)
+        a, b, cx, cy = sh[:, 0], sh[:, 1], sh[:, 2], sh[:, 3]
+        zeta = a + b
+        xi = a * b / zeta
+        rho = xi / (xi + 1.0)
+        dist = cx * cx + cy * cy
+        tpar = rho * dist
+        e0 = np.exp(0.0 - tpar)
+        f0 = np.sqrt(3.1415926 / (4.0 * tpar + 0.1))
+        f1 = (f0 - e0) / (2.0 * tpar + 0.1)
+        f2 = (3.0 * f1 - e0) / (2.0 * tpar + 0.1)
+        g0 = np.log(zeta + 1.0)
+        g1 = np.exp(0.0 - g0 * 0.5)
+        g2 = np.sqrt(g0 + 0.25)
+        u0 = f0 * g1
+        u1 = f1 * g2
+        u2 = f2 * g1 * g2
+        p0 = u0 + u1 * 0.6666667
+        p1 = u1 + u2 * 0.4
+        p2 = u2 + u0 * 0.2857143
+        q0 = np.sqrt(p0 * p0 + 0.01)
+        q1 = np.sqrt(p1 * p1 + 0.01)
+        q2 = np.sqrt(p2 * p2 + 0.01)
+        denom = q0 + q1 + q2
+        w0, w1, w2 = q0 / denom, q1 / denom, q2 / denom
+        root0 = tpar / (tpar + 1.0)
+        root1 = root0 * 0.5 + 0.1
+        root2 = root0 * 0.25 + 0.05
+        scale = np.exp(0.0 - rho) * np.sqrt(zeta) * (1.0 + root1 * root2)
+        norm = scale * (w0 * root0 + w1 * root1 + w2 * root2)
+        acc = np.zeros_like(norm)
+        for i in range(self.nroots):
+            acc = acc + weights[i] * (root0 + float(i) * 0.125) * norm
+        out = acc + u0 * w0
+        return out.astype(np.float32).astype(np.float64)

@@ -1,0 +1,130 @@
+"""SAD — Sum of Absolute Differences (Parboil, H.264 motion estimation).
+
+The suite's one *integer* program: each thread scores one macroblock
+against one search offset by accumulating ``|cur - ref|`` over the
+block.  Output correctness is exact — "it does not allow value errors
+in the output" — which is why SAD's detected-&-masked ratio is low
+(Section IX.B): any undetected value change *is* an SDC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kir.types import DType
+from repro.workloads.base import (
+    BufferSpec,
+    Workload,
+    WorkloadInput,
+    register_workload,
+)
+from repro.workloads.spec import exact_spec
+
+
+@register_workload
+class SADWorkload(Workload):
+    name = "SAD"
+    spec = exact_spec()
+    paper_scale_bytes = {
+        "fp": 128.0,
+        "integer": (704 * 576 * 2 + 2_000_000) * 4.0,  # CIF frames + SAD array
+        "pointer": 12.0,
+    }
+
+    source = """
+kernel sad(int* cur, int* ref, int* sads, int width, int mbsize,
+           int searchdim, int nmbx, int nmb) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    int nsearch = searchdim * searchdim;
+    int mb = t / nsearch;
+    int so = t % nsearch;
+    if (mb < nmb) {
+        int mbx = (mb % nmbx) * mbsize;
+        int mby = (mb / nmbx) * mbsize;
+        int sox = so % searchdim;
+        int soy = so / searchdim;
+        int sum = 0;
+        for (int i = 0; i < mbsize; i++) {
+            for (int j = 0; j < mbsize; j++) {
+                int a = cur[(mby + i) * width + mbx + j];
+                int b = ref[(mby + soy + i) * width + mbx + sox + j];
+                int d = a - b;
+                if (d < 0) {
+                    d = 0 - d;
+                }
+                sum = sum + d;
+            }
+        }
+        sads[t] = sum;
+    }
+}
+"""
+
+    def __init__(self, width: int = 24, height: int = 12, mbsize: int = 6,
+                 searchdim: int = 2):
+        super().__init__()
+        if width % mbsize or height % mbsize:
+            raise ValueError("frame dimensions must be multiples of mbsize")
+        self.width = width
+        self.height = height
+        self.mbsize = mbsize
+        self.searchdim = searchdim
+
+    @property
+    def n_macroblocks(self) -> int:
+        # keep a one-macroblock margin so search offsets stay in frame
+        return ((self.width // self.mbsize) - 1) * ((self.height // self.mbsize) - 1)
+
+    def generate_input(self, seed: int = 0) -> WorkloadInput:
+        rng = np.random.default_rng(seed + 6000)
+        cur = rng.integers(0, 256, (self.height, self.width)).astype(np.int32)
+        ref = rng.integers(0, 256, (self.height, self.width)).astype(np.int32)
+        nmbx = (self.width // self.mbsize) - 1
+        nsearch = self.searchdim * self.searchdim
+        n_threads = self.n_macroblocks * nsearch
+        bx = 32
+        gx = (n_threads + bx - 1) // bx
+        # pad the grid: extra threads score redundant (mb, so) pairs that
+        # stay in range because we sized the macroblock area with margin
+        return WorkloadInput(
+            buffers=[
+                BufferSpec("cur", DType.INT32, cur.size, cur.reshape(-1)),
+                BufferSpec("ref", DType.INT32, ref.size, ref.reshape(-1)),
+                BufferSpec("sads", DType.INT32, gx * bx,
+                           np.zeros(gx * bx, dtype=np.int32)),
+            ],
+            scalars={
+                "width": self.width,
+                "mbsize": self.mbsize,
+                "searchdim": self.searchdim,
+                "nmbx": nmbx,
+                "nmb": self.n_macroblocks,
+            },
+            buffer_params={"cur": "cur", "ref": "ref", "sads": "sads"},
+            outputs=["sads"],
+            grid=(gx, 1),
+            block=(bx, 1),
+            meta={"cur": cur, "ref": ref, "nmbx": nmbx, "n_threads": gx * bx},
+        )
+
+    def golden(self, inp: WorkloadInput) -> np.ndarray:
+        cur = inp.meta["cur"].astype(np.int64)
+        ref = inp.meta["ref"].astype(np.int64)
+        nmbx = int(inp.meta["nmbx"])
+        n = int(inp.meta["n_threads"])
+        nsearch = self.searchdim * self.searchdim
+        out = np.zeros(n, dtype=np.int64)
+        for t in range(n):
+            mb = t // nsearch
+            so = t % nsearch
+            if mb >= self.n_macroblocks:
+                continue
+            mbx = (mb % nmbx) * self.mbsize
+            mby = (mb // nmbx) * self.mbsize
+            sox = so % self.searchdim
+            soy = so // self.searchdim
+            c = cur[mby : mby + self.mbsize, mbx : mbx + self.mbsize]
+            r = ref[mby + soy : mby + soy + self.mbsize,
+                    mbx + sox : mbx + sox + self.mbsize]
+            out[t] = np.abs(c - r).sum()
+        return out.astype(np.float64)

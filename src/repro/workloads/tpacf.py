@@ -1,0 +1,124 @@
+"""TPACF — Two-Point Angular Correlation Function (Parboil).
+
+Threads bin the angular separations of sky-point pairs into a
+block-shared histogram (``__syncthreads`` + shared/global atomics),
+then flush it to global memory.  Two paper-relevant properties are
+reproduced:
+
+* the kernel declares **more than half the device's shared memory**
+  (10 KB of 16 KB), so R-Scatter's shared-memory doubling fails to
+  compile it (Section IX.A);
+* its flush loop walks memory until an index condition is met — the
+  shape whose corrupted address "never returns the write requested
+  value" and hangs, detectable only by the guardian (Section IX.B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kir.types import DType
+from repro.workloads.base import (
+    BufferSpec,
+    Workload,
+    WorkloadInput,
+    register_workload,
+)
+from repro.workloads.spec import percent_spec
+
+PI = 3.141592653589793
+
+#: Shared histogram size in words: > half of the 4096-word (16 KB)
+#: device shared memory, matching the paper's TPACF observation.
+SHARED_HIST_WORDS = 2560
+
+
+@register_workload
+class TPACFWorkload(Workload):
+    name = "TPACF"
+    spec = percent_spec(0.01)
+    paper_scale_bytes = {
+        "fp": 97178 * 3 * 4.0 * 101,  # point sets x (data + 100 randoms)
+        "integer": 256 * 4.0,
+        "pointer": 16.0,
+    }
+
+    source = f"""
+kernel tpacf(float* xs, float* ys, float* zs, int* hist, int npoints, int nbins) {{
+    shared int shist[{SHARED_HIST_WORDS}];
+    int tid = threadIdx.x;
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    int z = tid;
+    while (z < nbins) {{
+        shist[z] = 0;
+        z = z + blockDim.x;
+    }}
+    __syncthreads();
+    if (t < npoints) {{
+        float x1 = xs[t];
+        float y1 = ys[t];
+        float z1 = zs[t];
+        for (int j = 0; j < npoints; j++) {{
+            float dot = x1 * xs[j] + y1 * ys[j] + z1 * zs[j];
+            float cl = fmin(fmax(dot, -1.0), 1.0);
+            float angle = acos(cl);
+            int bin = int(angle * float(nbins) / 3.141592653589793);
+            if (bin >= nbins) {{
+                bin = nbins - 1;
+            }}
+            atomicAdd(&shist[bin], 1);
+        }}
+    }}
+    __syncthreads();
+    int c = tid;
+    while (c < nbins) {{
+        atomicAdd(&hist[c], shist[c]);
+        c = c + blockDim.x;
+    }}
+}}
+"""
+
+    def __init__(self, npoints: int = 48, nbins: int = 16):
+        super().__init__()
+        if nbins > SHARED_HIST_WORDS:
+            raise ValueError(f"nbins must fit in {SHARED_HIST_WORDS} shared words")
+        self.npoints = npoints
+        self.nbins = nbins
+
+    def generate_input(self, seed: int = 0) -> WorkloadInput:
+        rng = np.random.default_rng(seed + 7000)
+        # unit vectors on the sphere
+        v = rng.normal(size=(self.npoints, 3))
+        v /= np.linalg.norm(v, axis=1, keepdims=True)
+        xs = v[:, 0].astype(np.float32)
+        ys = v[:, 1].astype(np.float32)
+        zs = v[:, 2].astype(np.float32)
+        bx = 16
+        gx = (self.npoints + bx - 1) // bx
+        return WorkloadInput(
+            buffers=[
+                BufferSpec("xs", DType.FLOAT32, self.npoints, xs),
+                BufferSpec("ys", DType.FLOAT32, self.npoints, ys),
+                BufferSpec("zs", DType.FLOAT32, self.npoints, zs),
+                BufferSpec("hist", DType.INT32, self.nbins,
+                           np.zeros(self.nbins, dtype=np.int32)),
+            ],
+            scalars={"npoints": self.npoints, "nbins": self.nbins},
+            buffer_params={"xs": "xs", "ys": "ys", "zs": "zs", "hist": "hist"},
+            outputs=["hist"],
+            grid=(gx, 1),
+            block=(bx, 1),
+            meta={"xs": xs, "ys": ys, "zs": zs},
+        )
+
+    def golden(self, inp: WorkloadInput) -> np.ndarray:
+        xs = inp.meta["xs"].astype(np.float64)
+        ys = inp.meta["ys"].astype(np.float64)
+        zs = inp.meta["zs"].astype(np.float64)
+        dots = xs[:, None] * xs[None, :] + ys[:, None] * ys[None, :] + zs[:, None] * zs[None, :]
+        cl = np.clip(dots, -1.0, 1.0)
+        angles = np.arccos(cl)
+        bins = (angles * float(self.nbins) / PI).astype(np.int64)
+        bins = np.minimum(bins, self.nbins - 1)
+        hist = np.bincount(bins.reshape(-1), minlength=self.nbins)
+        return hist.astype(np.float64)

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import Device
+from repro.gpu.runtime import GPURuntime
+from repro.kir.parser import parse_kernel
+from repro.kir.types import DType
+
+
+@pytest.fixture
+def device():
+    return Device()
+
+
+@pytest.fixture
+def runtime(device):
+    return GPURuntime(device)
+
+
+SAXPY_SRC = """
+kernel saxpy(float* x, float* y, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float v = a * x[i] + y[i];
+        y[i] = v;
+    }
+}
+"""
+
+ACCUM_SRC = """
+kernel acc(float* data, float* out, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    float energy = 0.0;
+    for (int i = 0; i < n; i++) {
+        float d = data[i] - float(tid);
+        energy += d * d;
+    }
+    out[tid] = energy;
+}
+"""
+
+
+@pytest.fixture
+def saxpy_kernel():
+    return parse_kernel(SAXPY_SRC)
+
+
+@pytest.fixture
+def accum_kernel():
+    return parse_kernel(ACCUM_SRC)
+
+
+def launch_saxpy(runtime, kernel, n=64, a=2.0, lib=None):
+    """Helper running saxpy over n elements; returns (result, output)."""
+    device = runtime.device
+    device.memory.reset()
+    xs = np.arange(n, dtype=np.float32)
+    ys = np.ones(n, dtype=np.float32)
+    ax = device.memory.alloc("x", n, DType.FLOAT32)
+    ay = device.memory.alloc("y", n, DType.FLOAT32)
+    device.memory.memcpy_htod(ax, xs)
+    device.memory.memcpy_htod(ay, ys)
+    result = runtime.launch(
+        kernel, grid=(n + 31) // 32, block=32,
+        args={"x": ax, "y": ay, "a": a, "n": n}, lib=lib,
+    )
+    return result, device.memory.memcpy_dtoh(ay)

@@ -1,0 +1,127 @@
+"""CLI tests and end-to-end soak scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.core.checkpoint import Checkpoint, CheckpointLibrary
+from repro.core.guardian import Guardian
+from repro.core.program import HauberkProgram, RunStatus
+from repro.core.recovery import RecoveryEngine
+from repro.gpu.cluster import GPUNode
+from repro.swifi import FaultSpec, enumerate_targets
+from repro.workloads import get_workload
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "sec9d" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "fig09", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "energyx2" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "nope"]) == 2
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "CP", "--mode", "ft"]) == 0
+        out = capsys.readouterr().out
+        assert "__hauberk_check_range" in out
+        assert "energyx2" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "TPACF" in out and "True" in out
+
+
+class TestGuardianCheckpointing:
+    def test_checkpoint_taken_and_restored(self):
+        node = GPUNode(num_devices=2)
+        guardian = Guardian(node=node, checkpoints=CheckpointLibrary())
+        state = {"value": 0}
+        restored = []
+
+        def checkpoint_fn():
+            return Checkpoint.capture("pre-launch", scalars=dict(state))
+
+        def restore_fn(cp):
+            restored.append(cp.scalars["value"])
+            state.update(cp.scalars)
+
+        calls = []
+
+        def launch(device, budget):
+            calls.append(1)
+            state["value"] += 1  # the program mutates host state
+            if len(calls) == 1:
+                return _fake(RunStatus.HANG)
+            return _fake(RunStatus.OK)
+
+        result, report = guardian.supervise(
+            launch, checkpoint_fn=checkpoint_fn, restore_fn=restore_fn
+        )
+        assert result.status is RunStatus.OK
+        assert report.checkpoint_restores == 1
+        assert restored == [0]  # rolled back to the pre-launch snapshot
+        assert len(guardian.checkpoints) >= 1
+
+
+def _fake(status, steps=1000):
+    class R:
+        pass
+
+    r = R()
+    r.status = status
+    r.failure_reason = "x"
+    r.launch = type("L", (), {"max_thread_steps": steps})()
+    return r
+
+
+@pytest.mark.slow
+class TestSoak:
+    def test_supervised_campaign_with_random_transients(self):
+        """A production-shaped soak: calibration warm-up, then many
+        inputs with occasional transient faults; recovery always lands
+        on a correct output."""
+        node = GPUNode(num_devices=2)
+        wl = get_workload("MRI-Q")
+        prog = HauberkProgram(wl, device=node.healthy_device())
+        prog.train(seeds=list(range(8)))
+        engine = RecoveryEngine(prog, node=node)
+
+        # calibration warm-up on clean traffic: false alarms feed the
+        # on-line range learning and the alpha controller (Section VI)
+        for seed in range(50, 58):
+            engine.execute(wl.generate_input(seed), lambda i: None)
+            engine.recalibrate_alpha()
+
+        rng = np.random.default_rng(17)
+        acc_site = next(
+            s for s in enumerate_targets(wl.kernel)
+            if s.name == "qr" and s.kind == "assign"
+        )
+        verdicts = []
+        for job in range(12):
+            inp = wl.generate_input(100 + job)
+            if rng.random() < 0.4:
+                fault = FaultSpec(
+                    site=acc_site.site,
+                    mask=1 << int(rng.integers(27, 31)),
+                    thread=int(rng.integers(0, inp.n_threads)),
+                    occurrence=wl.numk,
+                )
+                source = lambda i, f=fault: f if i == 0 else None  # noqa: E731
+            else:
+                source = lambda i: None  # noqa: E731
+            result = engine.execute(inp, source)
+            verdicts.append(result.verdict)
+            golden = wl.golden(inp)
+            assert wl.spec.check(result.output, golden), f"job {job} wrong output"
+        # some jobs were faulted and recovered, the rest were clean
+        assert "clean" in verdicts
+        assert any(v != "clean" for v in verdicts)

@@ -1,0 +1,110 @@
+"""Instrumentation-audit tests: clean builds pass, sabotage is caught."""
+
+import pytest
+
+from repro.core.audit import audit_build
+from repro.core.nonloop import CHECKSUM_VAR, VALIDATE_FUNC
+from repro.core.translator import HauberkTranslator, TranslatorOptions
+from repro.kir.astnodes import Assign, BinOp, CallStmt, Const, Var, walk_stmts
+from repro.workloads import all_workloads, get_workload
+
+
+@pytest.mark.parametrize("name", all_workloads())
+@pytest.mark.parametrize("mode", ["ft", "fi", "fift", "profiler"])
+def test_every_build_passes_audit(name, mode):
+    wl = get_workload(name)
+    build = HauberkTranslator().build(wl.kernel, mode)
+    report = audit_build(wl.kernel, build)
+    assert report.ok, [str(f) for f in report.findings]
+
+
+def test_checksum_only_build_passes():
+    wl = get_workload("RPES")
+    build = HauberkTranslator(TranslatorOptions(nl_checksum_only=True)).build(
+        wl.kernel, "ft"
+    )
+    assert audit_build(wl.kernel, build).ok
+
+
+class TestSabotage:
+    def _ft(self, name="MRI-Q"):
+        wl = get_workload(name)
+        return wl.kernel, HauberkTranslator().build(wl.kernel, "ft")
+
+    def test_detects_missing_validate(self):
+        original, build = self._ft()
+        build.kernel.body = [
+            s for s in build.kernel.body
+            if not (isinstance(s, CallStmt) and s.func == VALIDATE_FUNC)
+        ]
+        report = audit_build(original, build)
+        assert not report.ok
+        assert any("validation" in str(f) for f in report.errors)
+
+    def test_detects_unbalanced_checksum(self):
+        original, build = self._ft()
+        # remove one XOR update: the zero-sum invariant's static check fails
+        for i, s in enumerate(build.kernel.body):
+            if (
+                isinstance(s, Assign)
+                and s.name == CHECKSUM_VAR
+                and isinstance(s.value, BinOp)
+            ):
+                del build.kernel.body[i]
+                break
+        report = audit_build(original, build)
+        assert not report.ok
+
+    def test_detects_missing_counter_increment(self):
+        original, build = self._ft()
+
+        def strip(block):
+            out = []
+            for s in block:
+                if isinstance(s, Assign) and s.name.startswith("__cnt") and s.in_loop:
+                    continue
+                for attr in ("body", "then", "els"):
+                    if hasattr(s, attr):
+                        setattr(s, attr, strip(getattr(s, attr)))
+                out.append(s)
+            return out
+
+        build.kernel.body = strip(build.kernel.body)
+        report = audit_build(original, build)
+        assert not report.ok
+        assert any("incremented" in str(f) for f in report.errors)
+
+    def test_detects_missing_fi_hook(self):
+        wl = get_workload("CP")
+        build = HauberkTranslator().build(wl.kernel, "fi")
+        # drop the first hook
+        for i, s in enumerate(build.kernel.body):
+            if isinstance(s, CallStmt) and s.func == "__hauberk_fi":
+                del build.kernel.body[i]
+                break
+        report = audit_build(wl.kernel, build)
+        assert not report.ok
+        assert any("lack FI hooks" in str(f) for f in report.errors)
+
+    def test_detects_missing_range_check(self):
+        original, build = self._ft()
+        build.kernel.body = [
+            s for s in build.kernel.body
+            if not (isinstance(s, type(build.kernel.body[0])) and False)
+        ]
+
+        def strip(block):
+            out = []
+            for s in block:
+                if isinstance(s, CallStmt) and s.func == "__hauberk_check_range":
+                    continue
+                for attr in ("body", "then", "els"):
+                    if hasattr(s, attr):
+                        setattr(s, attr, strip(getattr(s, attr)))
+                out.append(s)
+            return out
+
+        build.kernel.body = strip(build.kernel.body)
+        report = audit_build(original, build)
+        assert not report.ok
+        assert any("check_range" in str(f) for f in report.errors)

@@ -1,0 +1,289 @@
+"""HAUBERK-NL / HAUBERK-L transformation tests.
+
+The central invariant: on a fault-free run of any FT-instrumented
+kernel, the shared checksum is zero at exit, no duplication mismatch
+fires, and every loop detector sees in-range averages after training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.controlblock import ControlBlock
+from repro.core.ftlib import HauberkFTLibrary
+from repro.core.loopdet import apply_loop_detectors
+from repro.core.nonloop import CHECKSUM_VAR, MISMATCH_VAR, apply_nonloop_detectors
+from repro.core.translator import HauberkTranslator, TranslatorOptions
+from repro.errors import KIRValidationError
+from repro.gpu.device import Device
+from repro.gpu.runtime import GPURuntime
+from repro.kir import kernel_to_source, parse_kernel
+from repro.kir.types import DType
+from repro.kir.validate import validate_kernel
+from repro.workloads import all_workloads, get_workload
+
+
+class CheckProbe(HauberkFTLibrary):
+    """FT library that also records checksum validations."""
+
+    def __init__(self):
+        super().__init__(ControlBlock())
+        self.validations = []
+
+    def lib_checksum_validate(self, ctx, frame, checksum, nl_mismatch):
+        self.validations.append((checksum, nl_mismatch))
+        super().lib_checksum_validate(ctx, frame, checksum, nl_mismatch)
+
+
+def _run_ft(kernel_src_or_kernel, args_builder, grid=1, block=4):
+    """Instrument with NL only and run fault-free; returns the probe."""
+    kernel = (
+        parse_kernel(kernel_src_or_kernel)
+        if isinstance(kernel_src_or_kernel, str)
+        else kernel_src_or_kernel
+    )
+    clone = kernel.clone()
+    apply_nonloop_detectors(clone)
+    validate_kernel(clone)
+    device = Device()
+    runtime = GPURuntime(device)
+    probe = CheckProbe()
+    args = args_builder(device)
+    runtime.launch(clone, grid, block, args, lib=probe)
+    return probe
+
+
+class TestNonLoop:
+    def test_checksum_zero_on_clean_run(self):
+        src = """
+kernel k(float* data, float* out, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    float a = data[tid] * 2.0;
+    float b = a + 1.0;
+    float c = b * b - a;
+    out[tid] = c;
+}
+"""
+
+        def build(device):
+            d = device.memory.alloc("d", 4, DType.FLOAT32)
+            o = device.memory.alloc("o", 4, DType.FLOAT32)
+            device.memory.memcpy_htod(d, np.arange(4, dtype=np.float32))
+            return {"data": d, "out": o, "n": 4}
+
+        probe = _run_ft(src, build)
+        assert probe.validations == [(0, 0)] * 4
+        assert not probe.cb.sdc_bit
+
+    def test_checksum_zero_with_redefinitions(self):
+        src = """
+kernel k(int n, int* out) {
+    int x = n * 2;
+    int y = x + 1;
+    x = y - n;
+    x = x * 3;
+    out[0] = x + y;
+}
+"""
+
+        def build(device):
+            o = device.memory.alloc("o", 1, DType.INT32)
+            return {"n": 5, "out": o}
+
+        probe = _run_ft(src, build, block=1)
+        assert probe.validations == [(0, 0)]
+
+    def test_checksum_zero_with_branches(self):
+        src = """
+kernel k(int n, int* out) {
+    int base = n * 3;
+    if (n > 2) {
+        int t = base + 1;
+        out[0] = t;
+    } else {
+        int u = base - 1;
+        out[0] = u;
+    }
+}
+"""
+
+        def build(device):
+            o = device.memory.alloc("o", 1, DType.INT32)
+            return {"n": 5, "out": o}
+
+        probe = _run_ft(src, build, block=1)
+        assert probe.validations == [(0, 0)]
+
+    def test_checksum_zero_with_loop_updated_vars(self):
+        src = """
+kernel k(int n, float* out) {
+    float acc = 0.0;
+    float scale = 2.5;
+    for (int i = 0; i < n; i++) {
+        acc = acc + scale;
+    }
+    out[0] = acc;
+}
+"""
+
+        def build(device):
+            o = device.memory.alloc("o", 1, DType.FLOAT32)
+            return {"n": 6, "out": o}
+
+        probe = _run_ft(src, build, block=1)
+        assert probe.validations == [(0, 0)]
+
+    def test_all_workloads_validate_clean(self):
+        """The zero-sum invariant holds across every benchmark kernel."""
+        from repro.core.program import HauberkProgram, RunStatus
+
+        for name in all_workloads():
+            wl = get_workload(name)
+            prog = HauberkProgram(wl, options=TranslatorOptions(enable_loop=False))
+            result = prog.run(mode="ft", seed=0)
+            assert result.status is RunStatus.OK, name
+            checksum_events = [e for e in result.events if e.kind == "checksum"]
+            mismatch_events = [e for e in result.events if e.kind == "nl_mismatch"]
+            assert not checksum_events, f"{name}: nonzero checksum"
+            assert not mismatch_events, f"{name}: duplication mismatch"
+
+    def test_rejects_return(self):
+        kernel = parse_kernel("kernel k(int n) { if (n > 0) { return; } int x = n; }")
+        with pytest.raises(KIRValidationError):
+            apply_nonloop_detectors(kernel.clone())
+
+    def test_structure_of_instrumented_source(self):
+        kernel = parse_kernel(
+            "kernel k(float a, float* out) { float x = a * 2.0; out[0] = x; }"
+        )
+        clone = kernel.clone()
+        info = apply_nonloop_detectors(clone)
+        validate_kernel(clone)
+        text = kernel_to_source(clone)
+        assert f"int {CHECKSUM_VAR} = 0;" in text
+        assert f"int {MISMATCH_VAR} = 0;" in text
+        assert "__hauberk_checksum_validate" in text
+        assert text.count("__chk = __chk ^") % 2 == 0  # paired XORs
+        assert info.protected_params == ["a", "out"]
+        assert info.duplicated_definitions == 1
+
+    def test_const_definitions_not_duplicated(self):
+        kernel = parse_kernel("kernel k(float* out) { float z = 0.0; out[0] = z; }")
+        clone = kernel.clone()
+        info = apply_nonloop_detectors(clone)
+        assert info.duplicated_definitions == 0
+        assert info.protected_definitions == 1
+
+    def test_self_referencing_definition_duplicated_before(self):
+        src = "kernel k(int n, int* out) { int x = n; x = x + 1; out[0] = x; }"
+        clone = parse_kernel(src).clone()
+        apply_nonloop_detectors(clone)
+        validate_kernel(clone)
+        text = kernel_to_source(clone)
+        # the duplicate of "x = x + 1" must be computed from the OLD x
+        dup_line = next(l for l in text.splitlines() if "__dup1" in l and "=" in l)
+        assert text.index(dup_line) < text.index("x = x + 1;")
+
+
+class TestLoopDetector:
+    LOOP_SRC = """
+kernel k(float* data, float* out, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    float acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        float v = data[i] * 2.0;
+        acc = acc + v;
+    }
+    out[tid] = acc;
+}
+"""
+
+    def test_self_accumulator_needs_no_loop_body_adds(self):
+        kernel = parse_kernel(self.LOOP_SRC)
+        clone = kernel.clone()
+        info = apply_loop_detectors(clone, maxvar=1)
+        validate_kernel(clone)
+        cfg = info.configs[0]
+        assert cfg.variable == "acc"
+        assert cfg.self_accumulating
+        assert cfg.has_trip_check
+        text = kernel_to_source(clone)
+        assert "__acc0" not in text  # no extra accumulator
+        assert "__cnt0 = __cnt0 + 1" in text
+        assert "__hauberk_check_range(0" in text
+        assert "__hauberk_check_equal(0" in text
+
+    def test_non_self_accumulator_gets_accumulator(self):
+        src = """
+kernel k(float* data, float* out, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int i = 0; i < n; i++) {
+        float v = data[i] * 2.0;
+        float w = v + 1.0;
+        out[i] = w;
+    }
+}
+"""
+        clone = parse_kernel(src).clone()
+        info = apply_loop_detectors(clone, maxvar=1)
+        validate_kernel(clone)
+        text = kernel_to_source(clone)
+        assert "float __acc0 = 0.0;" in text
+        assert "__acc0 = __acc0 +" in text
+        assert not info.configs[0].self_accumulating
+
+    def test_profile_mode_places_profiler_calls(self):
+        clone = parse_kernel(self.LOOP_SRC).clone()
+        apply_loop_detectors(clone, maxvar=1, mode="profile")
+        validate_kernel(clone)
+        text = kernel_to_source(clone)
+        assert "__hauberk_profile_range(0" in text
+        assert "__hauberk_check_range" not in text
+
+    def test_profile_and_ft_agree_on_detector_ids(self):
+        for name in ("CP", "MRI-Q", "TPACF", "PNS"):
+            wl = get_workload(name)
+            translator = HauberkTranslator()
+            prof = translator.build(wl.kernel, "profiler")
+            ft = translator.build(wl.kernel, "ft")
+            assert [c.detector for c in prof.detector_configs] == [
+                c.detector for c in ft.detector_configs
+            ]
+            assert [c.variable for c in prof.detector_configs] == [
+                c.variable for c in ft.detector_configs
+            ]
+
+    def test_maxvar_places_multiple_detectors(self):
+        src = """
+kernel k(float* d, int n, float* o) {
+    float s1 = 0.0;
+    float s2 = 0.0;
+    for (int i = 0; i < n; i++) {
+        s1 = s1 + d[i];
+        s2 = s2 + d[i] * d[i];
+    }
+    o[0] = s1;
+    o[1] = s2;
+}
+"""
+        clone = parse_kernel(src).clone()
+        info = apply_loop_detectors(clone, maxvar=2)
+        assert len(info.configs) == 2
+
+    def test_zero_iteration_loop_is_guarded(self):
+        clone = parse_kernel(self.LOOP_SRC).clone()
+        apply_loop_detectors(clone, maxvar=1)
+        validate_kernel(clone)
+        device = Device()
+        runtime = GPURuntime(device)
+        cb = ControlBlock()
+        from repro.core.controlblock import DetectorConfig
+
+        cb.configure([DetectorConfig(detector=0)])
+        lib = HauberkFTLibrary(cb)
+        d = device.memory.alloc("d", 4, DType.FLOAT32)
+        o = device.memory.alloc("o", 4, DType.FLOAT32)
+        # n = 0: zero iterations; the cnt != 0 guard must skip the check,
+        # but the trip-count invariant (0 == 0) still holds
+        runtime.launch(clone, 1, 4, {"data": d, "out": o, "n": 0}, lib=lib)
+        assert not [e for e in cb.events if e.kind == "range"]
+        assert not [e for e in cb.events if e.kind == "trip"]

@@ -1,0 +1,287 @@
+"""Recovery engine (Figure 11), guardian, BIST, checkpoint tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.bist import run_bist
+from repro.core.checkpoint import Checkpoint, CheckpointLibrary
+from repro.core.guardian import Guardian
+from repro.core.program import HauberkProgram, RunStatus
+from repro.core.recovery import (
+    AlphaController,
+    DiagnosisResult,
+    FalsePositiveMonitor,
+    RecoveryEngine,
+)
+from repro.errors import RecoveryError, UnsupportedSoftwareError
+from repro.gpu.cluster import GPUNode
+from repro.gpu.device import Device
+from repro.swifi import FaultSpec, enumerate_targets
+from repro.workloads import get_workload
+
+
+def _trained_program(name="MRI-Q", node=None):
+    wl = get_workload(name)
+    device = node.healthy_device() if node else None
+    prog = HauberkProgram(wl, device=device)
+    prog.train(seeds=[0, 1, 2])
+    return prog
+
+
+def _acc_fault(prog, mask=1 << 29, thread=3, occurrence=None):
+    """Exponent-bit fault on the accumulator's *last* definition.
+
+    Hitting the final accumulation moves the checked average by orders
+    of magnitude in either direction, so the range detector must fire.
+    """
+    site = next(
+        s for s in enumerate_targets(prog.workload.kernel)
+        if s.name == "qr" and s.kind == "assign"
+    )
+    occ = occurrence if occurrence is not None else prog.workload.numk
+    return FaultSpec(site=site.site, mask=mask, thread=thread, occurrence=occ)
+
+
+def _crash_fault(prog, thread=0):
+    site = next(
+        s for s in enumerate_targets(prog.workload.kernel) if s.name == "x"
+    )
+    return FaultSpec(site=site.site, mask=1 << 30, thread=thread, occurrence=1)
+
+
+class TestAlphaController:
+    def test_raises_on_high_fp(self):
+        c = AlphaController()
+        assert c.adjust(1.0, 0.5) == 10.0
+        assert c.adjust(10.0, 0.2) == 100.0
+
+    def test_lowers_on_low_fp(self):
+        c = AlphaController()
+        assert c.adjust(10.0, 0.01) == 1.0
+        assert c.adjust(1.0, 0.01) == 1.0  # floor at 1
+
+    def test_dead_band(self):
+        c = AlphaController()
+        assert c.adjust(10.0, 0.07) == 10.0
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(RecoveryError):
+            AlphaController(high=0.01, low=0.5)
+
+
+class TestFalsePositiveMonitor:
+    def test_window(self):
+        m = FalsePositiveMonitor(window=3)
+        for fp in (True, True, False, False):
+            m.record(fp)
+        assert m.ratio == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert FalsePositiveMonitor().ratio == 0.0
+
+
+class TestRecoveryFlowchart:
+    def test_clean_run(self):
+        prog = _trained_program()
+        engine = RecoveryEngine(prog)
+        inp = prog.workload.generate_input(0)
+        result = engine.execute(inp, lambda i: None)
+        assert result.verdict == "clean"
+        assert result.runs == 1
+        assert prog.workload.spec.check(result.output, prog.workload.golden(inp))
+
+    def test_transient_sdc_retried(self):
+        prog = _trained_program()
+        engine = RecoveryEngine(prog)
+        inp = prog.workload.generate_input(0)
+        fault = _acc_fault(prog)
+        result = engine.execute(inp, lambda i: fault if i == 0 else None)
+        assert result.verdict == "transient_sdc"
+        assert result.runs == 2
+        # the retry's output is correct
+        assert prog.workload.spec.check(result.output, prog.workload.golden(inp))
+
+    def test_false_alarm_updates_ranges(self):
+        prog = _trained_program()
+        # sabotage the ranges so a clean value alarms deterministically
+        from repro.core.ranges import RangeSet, ValueRange
+
+        for det in prog.cb.detectors.values():
+            det.ranges = RangeSet(ranges=[ValueRange(1e8, 1e9)])
+        engine = RecoveryEngine(prog)
+        inp = prog.workload.generate_input(0)
+        result = engine.execute(inp, lambda i: None)
+        assert result.verdict == "false_alarm"
+        assert result.ranges_updated
+        assert engine.monitor.ratio == 1.0
+        # learned ranges absorbed the observed value: next run is quiet
+        follow_up = engine.execute(inp, lambda i: None)
+        assert follow_up.verdict == "clean"
+
+    def test_permanent_fault_migrates(self):
+        node = GPUNode(num_devices=2)
+        prog = _trained_program(node=node)
+        first_device = prog.device
+        first_device.defect = "register"  # BIST will fail on this device
+        engine = RecoveryEngine(prog, node=node)
+        inp = prog.workload.generate_input(0)
+        def fault_source(i):
+            # the fault persists (with hardware-typical variation in when
+            # it strikes) as long as we run on the defective device
+            if prog.device is not first_device:
+                return None
+            return _acc_fault(prog, occurrence=prog.workload.numk - i % 3)
+
+        result = engine.execute(inp, fault_source)
+        assert result.verdict == "hardware_fault"
+        assert result.migrated
+        assert prog.device is not first_device
+        assert not first_device.enabled
+        assert prog.workload.spec.check(result.output, prog.workload.golden(inp))
+
+    def test_repeated_crash_on_defective_device_migrates(self):
+        node = GPUNode(num_devices=2)
+        prog = _trained_program(node=node)
+        bad = prog.device
+        bad.defect = "fpu"
+        engine = RecoveryEngine(prog, node=node)
+        inp = prog.workload.generate_input(0)
+        crash = _crash_fault(prog)
+
+        def fault_source(i):
+            return crash if prog.device is bad else None
+
+        result = engine.execute(inp, fault_source)
+        assert result.verdict == "clean"
+        assert result.migrated
+
+    def test_repeated_crash_on_healthy_device_is_software(self):
+        prog = _trained_program()
+        engine = RecoveryEngine(prog, node=GPUNode(num_devices=2))
+        inp = prog.workload.generate_input(0)
+        crash = _crash_fault(prog)
+        with pytest.raises(UnsupportedSoftwareError):
+            engine.execute(inp, lambda i: crash)  # crashes forever, BIST passes
+
+    def test_recalibrate_alpha(self):
+        prog = _trained_program()
+        engine = RecoveryEngine(prog)
+        for _ in range(10):
+            engine.monitor.record(True)
+        alpha = engine.recalibrate_alpha()
+        assert alpha == 10.0
+        assert all(d.ranges.alpha == 10.0 for d in prog.cb.detectors.values())
+
+
+class TestGuardian:
+    class _FakeResult:
+        def __init__(self, status, steps=1000):
+            self.status = status
+            self.failure_reason = "x"
+            self.launch = type("L", (), {"max_thread_steps": steps})()
+
+    def test_success_records_baseline(self):
+        g = Guardian(node=GPUNode(num_devices=1))
+        result, report = g.supervise(
+            lambda device, budget: self._FakeResult(RunStatus.OK, steps=500)
+        )
+        assert report.attempts == 1
+        assert g.prev_steps == 500
+        assert g.next_budget() == max(5000, g.min_hang_budget)
+
+    def test_hang_then_success(self):
+        calls = []
+
+        def launch(device, budget):
+            calls.append(budget)
+            if len(calls) == 1:
+                return self._FakeResult(RunStatus.HANG)
+            return self._FakeResult(RunStatus.OK)
+
+        g = Guardian(node=GPUNode(num_devices=2))
+        result, report = g.supervise(launch)
+        assert report.hang_kills == 1
+        assert report.restarts == 1
+        assert result.status is RunStatus.OK
+
+    def test_double_failure_triggers_bist_and_migration(self):
+        node = GPUNode(num_devices=2)
+        node.devices[0].defect = "alu"
+        seen_devices = []
+
+        def launch(device, budget):
+            seen_devices.append(device.device_id)
+            if device.defect:
+                return self._FakeResult(RunStatus.CRASH)
+            return self._FakeResult(RunStatus.OK)
+
+        g = Guardian(node=node)
+        result, report = g.supervise(launch)
+        assert report.bist_runs == 1
+        assert report.migrations == 1
+        assert result.status is RunStatus.OK
+        assert len(set(seen_devices)) == 2
+
+    def test_double_failure_healthy_device_raises(self):
+        g = Guardian(node=GPUNode(num_devices=2))
+        with pytest.raises(UnsupportedSoftwareError):
+            g.supervise(lambda device, budget: self._FakeResult(RunStatus.CRASH))
+
+    def test_gives_up_after_max_attempts(self):
+        g = Guardian(node=GPUNode(num_devices=2), max_attempts=3)
+        calls = []
+
+        def launch(device, budget):
+            calls.append(1)
+            if len(calls) % 2:
+                return self._FakeResult(RunStatus.HANG)
+            return self._FakeResult(RunStatus.CRASH)
+
+        with pytest.raises((RecoveryError, UnsupportedSoftwareError)):
+            g.supervise(launch)
+
+
+class TestBIST:
+    def test_healthy_device_passes(self):
+        assert run_bist(Device())
+
+    @pytest.mark.parametrize("defect", ["alu", "fpu", "register"])
+    def test_defective_device_fails(self, defect):
+        device = Device()
+        device.defect = defect
+        assert not run_bist(device)
+
+    def test_runs_on_disabled_device(self):
+        device = Device()
+        device.enabled = False
+        assert run_bist(device)
+        assert not device.enabled  # restored
+
+
+class TestCheckpoint:
+    def test_capture_and_restore(self):
+        arr = np.arange(4.0)
+        cp = Checkpoint.capture("k0", arrays={"a": arr}, scalars={"n": 4},
+                                extra={"cb": {"x": 1}})
+        arr[0] = 99.0  # mutate after capture
+        restored = cp.restore_arrays()
+        assert restored["a"][0] == 0.0
+        assert cp.restore_extra("cb") == {"x": 1}
+        with pytest.raises(RecoveryError):
+            cp.restore_extra("nope")
+
+    def test_library_bounded_stack(self):
+        lib = CheckpointLibrary(capacity=2)
+        for i in range(3):
+            lib.save(Checkpoint.capture(f"t{i}"))
+        assert len(lib) == 2
+        assert lib.latest().tag == "t2"
+        assert lib.find("t1").tag == "t1"
+        with pytest.raises(RecoveryError):
+            lib.find("t0")
+
+    def test_empty_library(self):
+        with pytest.raises(RecoveryError):
+            CheckpointLibrary().latest()
+        with pytest.raises(RecoveryError):
+            CheckpointLibrary(capacity=0)

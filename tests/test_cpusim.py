@@ -1,0 +1,213 @@
+"""CPU machine tests: ISA semantics, page protection, programs, campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.cpusim import (
+    CPUFaultCampaign,
+    CPUMachine,
+    PagedMemory,
+    Program,
+    assemble,
+    cpu_checksum_program,
+    cpu_matmul_program,
+    cpu_sort_program,
+)
+from repro.cpusim.machine import (
+    CODE_BASE,
+    CPUFault,
+    CPUHang,
+    DATA_BASE,
+    STACK_TOP,
+    decode,
+    encode,
+)
+from repro.errors import (
+    CPUIllegalInstruction,
+    CPUSegmentationFault,
+    CPUSimError,
+)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        word = encode("ADD", 3, 5, -7)
+        assert decode(word) == ("ADD", 3, 5, -7)
+
+    def test_illegal_opcode(self):
+        with pytest.raises(CPUIllegalInstruction):
+            decode(0xEE000000)
+
+    def test_bad_mnemonic(self):
+        with pytest.raises(CPUSimError):
+            encode("FROB")
+
+    def test_register_range(self):
+        with pytest.raises(CPUSimError):
+            encode("MOV", 16, 0)
+
+
+class TestPagedMemory:
+    def test_mapping_and_access(self):
+        mem = PagedMemory()
+        mem.map_range(0x4000, 10)
+        mem.store(0x4005, 42)
+        assert mem.load(0x4005) == 42
+
+    def test_unmapped_faults(self):
+        mem = PagedMemory()
+        mem.map_range(0x4000, 10)
+        with pytest.raises(CPUSegmentationFault):
+            mem.load(0x9000)
+        with pytest.raises(CPUSegmentationFault):
+            mem.store(-5, 1)
+
+    def test_exec_permission(self):
+        mem = PagedMemory()
+        mem.map_range(0x1000, 10, executable=True)
+        mem.map_range(0x4000, 10)
+        assert mem.load(0x1000, access="exec") == 0
+        with pytest.raises(CPUSegmentationFault):
+            mem.load(0x4000, access="exec")  # data is not executable
+
+    def test_code_not_writable(self):
+        mem = PagedMemory()
+        mem.map_range(0x1000, 10, executable=True)
+        with pytest.raises(CPUSegmentationFault):
+            mem.store(0x1000, 1)
+
+
+class TestMachine:
+    def _run(self, listing, data=(), out=(0, 1)):
+        prog = Program(code=assemble(listing), data=list(data), output_range=out,
+                       name="t")
+        m = CPUMachine(prog)
+        m.run()
+        return m
+
+    def test_arithmetic_and_store(self):
+        m = self._run(
+            [
+                ("LOADI", 1, 0, 6),
+                ("LOADI", 2, 0, 7),
+                ("MUL", 1, 2, 0),
+                ("LOADI", 5, 0, DATA_BASE),
+                ("ST", 1, 5, 0),
+                ("HALT",),
+            ],
+            data=[0],
+        )
+        assert m.read_output() == [42.0]
+
+    def test_call_ret_stack(self):
+        m = self._run(
+            [
+                ("LOADI", 1, 0, 5),
+                ("CALL", 0, 0, "double"),
+                ("LOADI", 5, 0, DATA_BASE),
+                ("ST", 1, 5, 0),
+                ("HALT",),
+                "double",
+                ("ADD", 1, 1, 0),
+                ("RET",),
+            ],
+            data=[0],
+        )
+        assert m.read_output() == [10.0]
+        assert m.sp == STACK_TOP  # balanced
+
+    def test_division_by_zero_crashes(self):
+        with pytest.raises(CPUIllegalInstruction):
+            self._run(
+                [("LOADI", 1, 0, 5), ("LOADI", 2, 0, 0), ("DIV", 1, 2, 0), ("HALT",)]
+            )
+
+    def test_hang_on_budget(self):
+        prog = Program(
+            code=assemble([("JMP", 0, 0, CODE_BASE)]), data=[0], output_range=(0, 1),
+            name="spin",
+        )
+        with pytest.raises(CPUHang):
+            CPUMachine(prog).run(budget=100)
+
+    def test_wild_jump_faults(self):
+        prog = Program(
+            code=assemble([("JMP", 0, 0, 0x7000)]), data=[0], output_range=(0, 1),
+            name="wild",
+        )
+        with pytest.raises(CPUSegmentationFault):
+            CPUMachine(prog).run()
+
+    def test_fault_injection_mid_run(self):
+        listing = [
+            ("LOADI", 1, 0, 0),
+            ("LOADI", 5, 0, DATA_BASE),
+            ("LD", 2, 5, 0),
+            ("ST", 2, 5, 1),
+            ("HALT",),
+        ]
+        prog = Program(code=assemble(listing), data=[7, 0], output_range=(1, 1),
+                       name="t")
+        m = CPUMachine(prog)
+        # flip bit 3 of the input word before it is loaded (step 2)
+        m.run(fault=CPUFault(step=2, address=DATA_BASE, mask=0b1000))
+        assert m.read_output() == [15.0]
+
+
+class TestPrograms:
+    def test_matmul_matches_numpy(self):
+        prog, golden = cpu_matmul_program(seed=4)
+        m = CPUMachine(prog)
+        m.run()
+        assert np.allclose(m.read_output(), golden, rtol=1e-6)
+
+    def test_sort_matches_python(self):
+        prog, golden = cpu_sort_program(seed=4)
+        m = CPUMachine(prog)
+        m.run()
+        assert np.array_equal(np.array(m.read_output()), golden)
+
+    def test_checksum_matches_python(self):
+        prog, golden = cpu_checksum_program(seed=4)
+        m = CPUMachine(prog)
+        m.run()
+        assert np.array_equal(np.array(m.read_output()), golden)
+
+    def test_programs_have_cold_code_and_heap(self):
+        prog, _ = cpu_sort_program()
+        # cold tail makes code much larger than the hot path
+        assert len(prog.code) > 60
+        assert len(prog.data) > 100  # heap tail present
+
+
+class TestCampaign:
+    def test_fault_free_baseline_checked(self):
+        campaign = CPUFaultCampaign(cpu_sort_program)
+        assert campaign.baseline_steps > 100
+
+    def test_outcome_ratios_sum_to_one(self):
+        campaign = CPUFaultCampaign(cpu_checksum_program)
+        result = campaign.run(trials_per_segment=20, seed=1)
+        for segment in ("stack", "data", "code"):
+            ratios = campaign_ratios = result.ratios(segment)
+            assert sum(ratios.values()) == pytest.approx(1.0)
+
+    def test_cpu_sdc_below_gpu_levels(self):
+        """The Figure 1 headline: CPU SDC ratios are far below GPU's."""
+        total_sdc = total = 0
+        for builder in (cpu_matmul_program, cpu_sort_program, cpu_checksum_program):
+            campaign = CPUFaultCampaign(builder)
+            result = campaign.run(trials_per_segment=30, seed=2)
+            total_sdc += sum(t.outcome == "sdc" for t in result.trials)
+            total += len(result.trials)
+        assert total_sdc / total < 0.15  # GPU HPC programs show 18-45%
+
+    def test_stack_faults_can_crash(self):
+        campaign = CPUFaultCampaign(cpu_matmul_program)
+        result = campaign.run(trials_per_segment=40, seed=3, segments=("stack",))
+        assert result.ratios("stack")["failure"] > 0.0
+
+    def test_deterministic(self):
+        c1 = CPUFaultCampaign(cpu_sort_program).run(trials_per_segment=10, seed=9)
+        c2 = CPUFaultCampaign(cpu_sort_program).run(trials_per_segment=10, seed=9)
+        assert [t.outcome for t in c1.trials] == [t.outcome for t in c2.trials]

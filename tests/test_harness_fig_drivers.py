@@ -1,0 +1,90 @@
+"""Unit tests of harness driver internals (result containers, helpers)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.harness.fig01_sensitivity import Fig01Result, SensitivityRow
+from repro.harness.fig02_memory import Fig02Row
+from repro.harness.fig13_overhead import Fig13Result, OverheadRow
+from repro.harness.fig14_coverage import Fig14Result
+from repro.harness.fig15_bitflip import _random_masks
+from repro.harness.fig16_falsepos import Fig16Result
+from repro.swifi.outcomes import Outcome, OutcomeCounts
+
+
+class TestFig01Containers:
+    def test_row_lookup(self):
+        result = Fig01Result(rows=[SensitivityRow("g", "fp", 0.1, 0.2, 0.7, 10)])
+        assert result.row("g", "fp").sdc == 0.2
+        with pytest.raises(KeyError):
+            result.row("g", "pointer")
+
+
+class TestFig02Row:
+    def test_dominance_orders(self):
+        row = Fig02Row("x", fp_bytes=1e6, int_bytes=90.0, ptr_bytes=10.0)
+        assert row.fp_dominance_orders == pytest.approx(4.0)
+
+    def test_degenerate(self):
+        assert Fig02Row("x", 0.0, 1.0, 0.0).fp_dominance_orders == 0.0
+
+
+class TestFig13Averages:
+    def test_averages_skip_nocompile(self):
+        result = Fig13Result(rows=[
+            OverheadRow("A", 100.0, 90.0, 5.0, 3.0, 8.0),
+            OverheadRow("TPACF", 100.0, None, 2.0, 3.0, 5.0),
+            OverheadRow("RPES", 100.0, 80.0, 50.0, 10.0, 60.0),
+        ])
+        avg = result.averages()
+        assert avg["rscatter"] == pytest.approx(85.0)  # None excluded
+        assert avg["hauberk_excl_rpes"] == pytest.approx(6.5)
+        with pytest.raises(KeyError):
+            result.row("NOPE")
+
+
+class TestFig14Aggregation:
+    def _counts(self, undetected, masked):
+        c = OutcomeCounts()
+        for _ in range(undetected):
+            c.add(Outcome.UNDETECTED)
+        for _ in range(masked):
+            c.add(Outcome.MASKED)
+        return c
+
+    def test_average_coverage(self):
+        result = Fig14Result(cells={
+            ("A", 1): self._counts(1, 9),   # coverage 0.9
+            ("B", 1): self._counts(3, 7),   # coverage 0.7
+            ("A", 6): self._counts(5, 5),   # coverage 0.5
+        })
+        assert result.average_coverage(1) == pytest.approx(0.8)
+        assert result.average_coverage() == pytest.approx((0.9 + 0.7 + 0.5) / 3)
+        assert result.fraction(Outcome.MASKED, 1) == pytest.approx(0.8)
+
+
+class TestFig15Masks:
+    def test_exact_bit_counts(self):
+        rng = np.random.default_rng(0)
+        for bits in (1, 6, 15):
+            masks = _random_masks(rng, 200, bits)
+            counts = np.array([bin(int(m)).count("1") for m in masks])
+            assert (counts == bits).all()
+
+    def test_masks_fit_32_bits(self):
+        rng = np.random.default_rng(1)
+        masks = _random_masks(rng, 100, 15)
+        assert (masks <= 0xFFFFFFFF).all()
+
+
+class TestFig16Series:
+    def test_series_filters_alpha(self):
+        result = Fig16Result(ratios={
+            ("P", 1.0, 1): 0.5, ("P", 1.0, 7): 0.1,
+            ("P", 10.0, 1): 0.2, ("Q", 1.0, 1): 0.9,
+        })
+        assert result.series("P") == {1: 0.5, 7: 0.1}
+        assert result.series("P", alpha=10.0) == {1: 0.2}
+        assert result.series("Q") == {1: 0.9}

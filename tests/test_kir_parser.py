@@ -1,0 +1,254 @@
+"""Parser tests: grammar coverage, precedence, sugar, and errors."""
+
+import pytest
+
+from repro.errors import KIRParseError, KIRValidationError
+from repro.kir import parse_kernel, kernel_to_source
+from repro.kir.astnodes import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Const,
+    Decl,
+    For,
+    If,
+    Load,
+    SharedLoad,
+    SharedStore,
+    Store,
+    SyncThreads,
+    While,
+)
+from repro.kir.parser import tokenize
+from repro.kir.types import DType
+
+
+def test_minimal_kernel():
+    k = parse_kernel("kernel empty(int n) { int x = n; }")
+    assert k.name == "empty"
+    assert k.params[0].dtype is DType.INT32
+    assert isinstance(k.body[0], Decl)
+
+
+def test_pointer_params():
+    k = parse_kernel("kernel p(float* a, int* b) { a[0] = 1.0; b[1] = 2; }")
+    assert k.params[0].dtype is DType.PTR_FLOAT32
+    assert k.params[1].dtype is DType.PTR_INT32
+    assert isinstance(k.body[0], Store)
+
+
+def test_precedence_mul_over_add():
+    k = parse_kernel("kernel p(int a, int b, int c) { int x = a + b * c; }")
+    rhs = k.body[0].init
+    assert isinstance(rhs, BinOp) and rhs.op == "+"
+    assert isinstance(rhs.right, BinOp) and rhs.right.op == "*"
+
+
+def test_precedence_shift_over_bitand():
+    k = parse_kernel("kernel p(int a) { int x = a >> 16 & 32767; }")
+    rhs = k.body[0].init
+    assert rhs.op == "&"
+    assert rhs.left.op == ">>"
+
+
+def test_left_associativity():
+    k = parse_kernel("kernel p(int a, int b, int c) { int x = a - b - c; }")
+    rhs = k.body[0].init
+    assert rhs.op == "-"
+    assert isinstance(rhs.left, BinOp) and rhs.left.op == "-"
+
+
+def test_unary_minus_folds_constants():
+    k = parse_kernel("kernel p(int n) { int x = -5; float y = -1.5; }")
+    assert k.body[0].init == Const(-5)
+    assert k.body[1].init == Const(-1.5)
+
+
+def test_compound_assignment_sugar():
+    k = parse_kernel(
+        "kernel p(int n) { int x = 0; x += n; x -= 1; x *= 2; x++; x--; }"
+    )
+    ops = [s.value.op for s in k.body[1:]]
+    assert ops == ["+", "-", "*", "+", "-"]
+
+
+def test_indexed_compound_assignment():
+    k = parse_kernel("kernel p(float* a, int i) { a[i] += 1.0; }")
+    store = k.body[0]
+    assert isinstance(store, Store)
+    assert isinstance(store.value, BinOp) and isinstance(store.value.left, Load)
+
+
+def test_for_loop_structure():
+    k = parse_kernel(
+        "kernel p(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } }"
+    )
+    loop = k.body[1]
+    assert isinstance(loop, For)
+    assert loop.init.name == "i"
+    assert loop.update.name == "i"
+
+
+def test_while_and_break_continue():
+    k = parse_kernel(
+        """
+kernel p(int n) {
+    int i = 0;
+    while (i < n) {
+        i++;
+        if (i == 3) { continue; }
+        if (i > 5) { break; }
+    }
+}
+"""
+    )
+    assert isinstance(k.body[1], While)
+
+
+def test_do_while_lowering_runs_once():
+    k = parse_kernel(
+        """
+kernel p(int* out, int n) {
+    int i = 0;
+    do {
+        i++;
+    } while (i < n);
+    out[0] = i;
+}
+"""
+    )
+    # lowered form validates and contains a While
+    assert k.validated
+
+
+def test_shared_memory_and_sync():
+    k = parse_kernel(
+        """
+kernel p(int n) {
+    shared float tile[64];
+    int t = threadIdx.x;
+    tile[t] = 1.0;
+    __syncthreads();
+    float v = tile[t];
+}
+"""
+    )
+    assert k.uses_sync
+    assert k.shared[0].size == 64
+    assert isinstance(k.body[1], SharedStore)
+    assert isinstance(k.body[3].init, SharedLoad)
+
+
+def test_atomic_add_global_and_shared():
+    k = parse_kernel(
+        """
+kernel p(int* hist, int n) {
+    shared int sh[8];
+    atomicAdd(&sh[0], 1);
+    atomicAdd(&hist[n], 2);
+}
+"""
+    )
+    assert isinstance(k.body[0], AtomicAdd) and k.body[0].space == "shared"
+    assert isinstance(k.body[1], AtomicAdd) and k.body[1].space == "global"
+
+
+def test_else_if_chain():
+    k = parse_kernel(
+        """
+kernel p(int n, int* out) {
+    if (n < 0) { out[0] = 0; }
+    else if (n == 0) { out[0] = 1; }
+    else { out[0] = 2; }
+}
+"""
+    )
+    top = k.body[0]
+    assert isinstance(top, If)
+    assert isinstance(top.els[0], If)
+
+
+def test_casts_and_intrinsics():
+    k = parse_kernel(
+        "kernel p(float v) { int i = int(v); float f = float(i); float s = sqrt(v); }"
+    )
+    assert k.body[0].init.func == "int"
+    assert k.body[2].init.func == "sqrt"
+
+
+def test_comments_are_skipped():
+    k = parse_kernel(
+        """
+kernel p(int n) {
+    // line comment
+    int x = n; /* block
+    comment */ int y = x;
+}
+"""
+    )
+    assert len(k.body) == 2
+
+
+def test_float_literal_forms():
+    k = parse_kernel(
+        "kernel p(int n) { float a = 1.5; float b = .5; float c = 2e3; float d = 1.0f; }"
+    )
+    assert [s.init.value for s in k.body] == [1.5, 0.5, 2000.0, 1.0]
+
+
+def test_hex_literals():
+    k = parse_kernel("kernel p(int n) { int x = 0xFF; }")
+    assert k.body[0].init.value == 255
+
+
+def test_library_call_with_string():
+    k = parse_kernel('kernel p(int n) { __hauberk_fi(3, "n"); }')
+    call = k.body[0]
+    assert call.func == "__hauberk_fi"
+    assert call.args[1].value == "n"
+
+
+@pytest.mark.parametrize(
+    "src",
+    [
+        "kernel p(int n) { x = 1; }",  # undeclared
+        "kernel p(int n) { int n = 1; }",  # shadows param
+        "kernel p(int n) { float v = unknownfn(n); }",  # unknown function
+        "kernel p(int n) { int x = 1 }",  # missing semicolon
+        "kernel p(int n) { break; }",  # break outside loop
+    ],
+)
+def test_rejects_bad_programs(src):
+    with pytest.raises((KIRParseError, KIRValidationError)):
+        parse_kernel(src)
+
+
+def test_unterminated_block():
+    with pytest.raises(KIRParseError):
+        parse_kernel("kernel p(int n) { int x = 1;")
+
+
+def test_tokenizer_reports_position():
+    with pytest.raises(KIRParseError) as err:
+        tokenize("kernel p() { int x = $; }")
+    assert "line 1" in str(err.value)
+
+
+def test_roundtrip_through_printer():
+    src = """
+kernel rt(float* a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float s = 0.0;
+    for (int j = 0; j < n; j = j + 1) {
+        s = s + a[j] * 2.0;
+        if (s > 10.0) {
+            s = s - 1.0;
+        }
+    }
+    a[i] = s;
+}
+"""
+    k1 = parse_kernel(src)
+    text = kernel_to_source(k1)
+    k2 = parse_kernel(text)
+    assert kernel_to_source(k2) == text

@@ -1,0 +1,145 @@
+"""OpenCL front-end tests: translation, parity with CUDA, full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.program import HauberkProgram
+from repro.core.translator import HauberkTranslator
+from repro.errors import KIRParseError
+from repro.gpu.device import Device
+from repro.gpu.runtime import GPURuntime
+from repro.kir import kernel_to_source, parse_kernel
+from repro.kir.opencl import opencl_to_minicuda, parse_opencl_kernel
+from repro.kir.types import DType
+
+OPENCL_SAXPY = """
+__kernel void saxpy(__global float* x, __global float* y, float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        float v = a * x[i] + y[i];
+        y[i] = v;
+    }
+}
+"""
+
+CUDA_SAXPY = """
+kernel saxpy(float* x, float* y, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float v = a * x[i] + y[i];
+        y[i] = v;
+    }
+}
+"""
+
+OPENCL_REDUCE = """
+__kernel void reduce(__global float* data, __global float* out, int n) {
+    __local float tile[64];
+    int t = get_local_id(0);
+    tile[t] = data[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (t == 0) {
+        float s = 0.0f;
+        for (int i = 0; i < get_local_size(0); i++) {
+            s = s + tile[i];
+        }
+        out[get_group_id(0)] = s;
+    }
+}
+"""
+
+
+class TestTranslation:
+    def test_saxpy_matches_cuda_dialect(self):
+        ocl = parse_opencl_kernel(OPENCL_SAXPY)
+        cuda = parse_kernel(CUDA_SAXPY)
+        assert kernel_to_source(ocl) == kernel_to_source(cuda)
+
+    def test_local_arrays_hoisted_to_shared(self):
+        k = parse_opencl_kernel(OPENCL_REDUCE)
+        assert k.uses_sync
+        assert k.shared[0].name == "tile" and k.shared[0].size == 64
+
+    def test_workitem_functions(self):
+        text = opencl_to_minicuda("__kernel void k(int n) { int a = get_global_size(1); int b = get_num_groups(0); }")
+        assert "gridDim.y * blockDim.y" in text
+        assert "gridDim.x" in text
+
+    def test_suffixed_and_native_intrinsics(self):
+        k = parse_opencl_kernel(
+            "__kernel void k(float v, __global float* o) "
+            "{ o[0] = sqrtf(v) + native_exp(v); }"
+        )
+        text = kernel_to_source(k)
+        assert "sqrt(v)" in text and "exp(v)" in text
+
+    def test_size_t_and_uint(self):
+        k = parse_opencl_kernel(
+            "__kernel void k(__global int* o, int n) "
+            "{ size_t i = get_global_id(0); uint j = 2; o[0] = int(i) + j; }"
+        )
+        assert k.validated
+
+    def test_unsupported_dimension_rejected(self):
+        with pytest.raises(KIRParseError):
+            parse_opencl_kernel("__kernel void k(int n) { int i = get_global_id(2); }")
+
+    def test_unsupported_local_usage_rejected(self):
+        with pytest.raises(KIRParseError):
+            parse_opencl_kernel(
+                "__kernel void k(__local float* p, int n) { int i = n; }"
+            )
+
+
+class TestExecutionParity:
+    def _run(self, kernel, n=64):
+        device = Device()
+        runtime = GPURuntime(device)
+        xs = np.arange(n, dtype=np.float32)
+        ys = np.ones(n, dtype=np.float32)
+        ax = device.memory.alloc("x", n, DType.FLOAT32)
+        ay = device.memory.alloc("y", n, DType.FLOAT32)
+        device.memory.memcpy_htod(ax, xs)
+        device.memory.memcpy_htod(ay, ys)
+        runtime.launch(kernel, 2, 32, {"x": ax, "y": ay, "a": 3.0, "n": n})
+        return device.memory.memcpy_dtoh(ay)
+
+    def test_opencl_kernel_executes(self):
+        out = self._run(parse_opencl_kernel(OPENCL_SAXPY))
+        assert np.allclose(out, 3.0 * np.arange(64) + 1)
+
+    def test_barrier_kernel_executes(self):
+        device = Device()
+        runtime = GPURuntime(device)
+        k = parse_opencl_kernel(OPENCL_REDUCE)
+        data = np.arange(32, dtype=np.float32)
+        ad = device.memory.alloc("d", 32, DType.FLOAT32)
+        ao = device.memory.alloc("o", 2, DType.FLOAT32)
+        device.memory.memcpy_htod(ad, data)
+        runtime.launch(k, 2, 16, {"data": ad, "out": ao, "n": 32})
+        out = device.memory.memcpy_dtoh(ao)
+        assert out[0] == data[:16].sum() and out[1] == data[16:].sum()
+
+
+class TestHauberkOnOpenCL:
+    def test_full_translator_pipeline(self):
+        """Hauberk instruments an OpenCL kernel exactly like a CUDA one."""
+        kernel = parse_opencl_kernel(
+            """
+__kernel void distsum(__global float* pts, __global float* out, int n) {
+    int tid = get_global_id(0);
+    float total = 0.0f;
+    for (int j = 0; j < n; j++) {
+        float d = pts[j] - pts[tid];
+        total = total + d * d;
+    }
+    out[tid] = total;
+}
+"""
+        )
+        ft = HauberkTranslator().build(kernel, "ft")
+        assert ft.detector_configs
+        assert ft.detector_configs[0].variable == "total"
+        text = kernel_to_source(ft.kernel)
+        assert "__hauberk_check_range" in text
+        assert "__hauberk_checksum_validate" in text

@@ -1,0 +1,255 @@
+"""SWIFI tests: specs, targets, instrumentation, injection, campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectionError, KernelCrash
+from repro.gpu.device import Device
+from repro.gpu.runtime import GPURuntime
+from repro.kir import parse_kernel, kernel_to_source
+from repro.kir.types import DType
+from repro.swifi import (
+    Campaign,
+    FaultInjectionLibrary,
+    FaultSpec,
+    Outcome,
+    build_fault_specs,
+    classify_outcome,
+    enumerate_targets,
+    instrument_for_fi,
+    select_targets,
+)
+from repro.swifi.campaign import TrialObservation
+from repro.swifi.outcomes import OutcomeCounts
+from repro.swifi.tracing import ValueTraceLibrary
+
+SRC = """
+kernel k(float* data, float* out, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    float acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        float v = data[i] * 2.0;
+        acc = acc + v;
+    }
+    out[tid] = acc;
+}
+"""
+
+
+def _setup(n=8, threads=4):
+    device = Device()
+    runtime = GPURuntime(device)
+    kernel = parse_kernel(SRC)
+    data = np.arange(1, n + 1, dtype=np.float32)
+    ad = device.memory.alloc("d", n, DType.FLOAT32)
+    ao = device.memory.alloc("o", threads, DType.FLOAT32)
+    device.memory.memcpy_htod(ad, data)
+    args = {"data": ad, "out": ao, "n": n}
+    return device, runtime, kernel, args, ao
+
+
+class TestFaultSpec:
+    def test_valid(self):
+        spec = FaultSpec(site=1, mask=0b110, thread=2, occurrence=3)
+        assert spec.n_bits == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(site=0, mask=0),
+            dict(site=0, mask=1 << 40),
+            dict(site=0, mask=1, occurrence=0),
+            dict(site=0, mask=1, thread=-1),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(InjectionError):
+            FaultSpec(**kwargs)
+
+
+class TestTargets:
+    def test_enumerate_all(self):
+        kernel = parse_kernel(SRC)
+        sites = enumerate_targets(kernel)
+        assert len(sites) == kernel.n_sites
+        classes = {s.sensitivity_class for s in sites}
+        assert classes == {"pointer", "integer", "fp"}
+
+    def test_filter_by_class(self):
+        kernel = parse_kernel(SRC)
+        fp = enumerate_targets(kernel, classes=["fp"])
+        assert all(s.dtype is DType.FLOAT32 for s in fp)
+        with pytest.raises(InjectionError):
+            enumerate_targets(kernel, classes=["bogus"])
+
+    def test_select_subsamples(self):
+        kernel = parse_kernel(SRC)
+        rng = np.random.default_rng(0)
+        sites = select_targets(kernel, 3, rng)
+        assert len(sites) == 3
+        with pytest.raises(InjectionError):
+            select_targets(kernel, 0, rng)
+
+
+class TestInstrumentation:
+    def test_hooks_after_every_definition(self):
+        kernel = parse_kernel(SRC)
+        fi = instrument_for_fi(kernel)
+        text = kernel_to_source(fi)
+        # every original site gets a hook carrying its original id
+        for site in enumerate_targets(kernel):
+            assert f"__hauberk_fi({site.site}," in text
+
+    def test_loop_header_hooks_in_body(self):
+        kernel = parse_kernel(SRC)
+        fi = instrument_for_fi(kernel)
+        loop = next(s for s in fi.body if hasattr(s, "update") and s.update)
+        # first stmt observes the init site, last the update site
+        assert loop.body[0].func == "__hauberk_fi"
+        assert loop.body[-1].func == "__hauberk_fi"
+
+    def test_original_untouched(self):
+        kernel = parse_kernel(SRC)
+        before = kernel_to_source(kernel)
+        instrument_for_fi(kernel)
+        assert kernel_to_source(kernel) == before
+
+
+class TestInjection:
+    def test_fault_activates_and_corrupts_output(self):
+        device, runtime, kernel, args, ao = _setup()
+        fi_kernel = instrument_for_fi(kernel)
+        acc_site = next(s for s in enumerate_targets(kernel) if s.name == "acc" and s.kind == "assign")
+        lib = FaultInjectionLibrary(kernel, FaultSpec(site=acc_site.site, mask=1 << 30, thread=1, occurrence=2))
+        runtime.launch(fi_kernel, 1, 4, args, lib=lib)
+        assert lib.activation is not None
+        assert lib.activation.variable == "acc"
+        out = device.memory.memcpy_dtoh(ao)
+        assert out[1] != out[0]  # thread 1 corrupted, thread 0 clean
+
+    def test_only_chosen_occurrence(self):
+        device, runtime, kernel, args, _ = _setup()
+        fi_kernel = instrument_for_fi(kernel)
+        site = next(s for s in enumerate_targets(kernel) if s.name == "v")
+        lib = FaultInjectionLibrary(kernel, FaultSpec(site=site.site, mask=1, thread=0, occurrence=5))
+        runtime.launch(fi_kernel, 1, 4, args, lib=lib)
+        key = (site.site, 0)
+        assert lib.state.counters[key] >= 5
+        assert lib.activation.at_step > 0
+
+    def test_unarmed_library_is_inert(self):
+        device, runtime, kernel, args, ao = _setup()
+        fi_kernel = instrument_for_fi(kernel)
+        lib = FaultInjectionLibrary(kernel)
+        runtime.launch(fi_kernel, 1, 4, args, lib=lib)
+        assert lib.activation is None
+
+    def test_pointer_fault_crashes(self):
+        device, runtime, kernel, args, _ = _setup()
+        fi_kernel = instrument_for_fi(kernel)
+        ptr_site = next(s for s in enumerate_targets(kernel) if s.name == "data")
+        lib = FaultInjectionLibrary(
+            kernel, FaultSpec(site=ptr_site.site, mask=1 << 30, thread=0)
+        )
+        with pytest.raises(KernelCrash):
+            runtime.launch(fi_kernel, 1, 4, args, lib=lib)
+
+    def test_unknown_site_rejected(self):
+        kernel = parse_kernel(SRC)
+        lib = FaultInjectionLibrary(kernel)
+        with pytest.raises(InjectionError):
+            lib.arm(FaultSpec(site=9999, mask=1))
+
+    def test_rearm_resets_state(self):
+        device, runtime, kernel, args, _ = _setup()
+        fi_kernel = instrument_for_fi(kernel)
+        site = next(s for s in enumerate_targets(kernel) if s.name == "tid")
+        lib = FaultInjectionLibrary(kernel, FaultSpec(site=site.site, mask=1, thread=0))
+        runtime.launch(fi_kernel, 1, 4, args, lib=lib)
+        assert lib.activation is not None
+        lib.arm(None)
+        assert lib.activation is None and not lib.state.counters
+
+
+class TestOutcomes:
+    def test_classification_matrix(self):
+        assert classify_outcome(True, False, False) is Outcome.FAILURE
+        assert classify_outcome(False, False, True) is Outcome.MASKED
+        assert classify_outcome(False, True, True) is Outcome.DETECTED_MASKED
+        assert classify_outcome(False, True, False) is Outcome.DETECTED
+        assert classify_outcome(False, False, False) is Outcome.UNDETECTED
+
+    def test_counts_and_ratios(self):
+        counts = OutcomeCounts()
+        for o in (Outcome.MASKED, Outcome.MASKED, Outcome.UNDETECTED, Outcome.DETECTED):
+            counts.add(o)
+        assert counts.total == 4
+        assert counts.sdc_ratio == 0.25
+        assert counts.coverage == 0.75
+        assert counts.detected_ratio == 0.25
+
+    def test_merge(self):
+        a, b = OutcomeCounts(), OutcomeCounts()
+        a.add(Outcome.MASKED)
+        b.add(Outcome.FAILURE)
+        merged = a.merge(b)
+        assert merged.total == 2
+
+
+class TestCampaign:
+    def test_build_specs_deterministic(self):
+        kernel = parse_kernel(SRC)
+        sites = enumerate_targets(kernel)
+        s1 = build_fault_specs(sites, n_threads=8, masks_per_site=3, seed=1)
+        s2 = build_fault_specs(sites, n_threads=8, masks_per_site=3, seed=1)
+        assert [(s.site, s.mask, s.thread, s.occurrence) for s in s1] == [
+            (s.site, s.mask, s.thread, s.occurrence) for s in s2
+        ]
+        assert len(s1) == 3 * len(sites)
+
+    def test_build_specs_bit_counts_cycle(self):
+        kernel = parse_kernel(SRC)
+        sites = enumerate_targets(kernel)[:1]
+        specs = build_fault_specs(sites, n_threads=4, masks_per_site=4, bit_counts=(1, 6))
+        assert [s.n_bits for s in specs] == [1, 6, 1, 6]
+
+    def test_golden_check_rejects_dirty_runner(self):
+        campaign = Campaign(lambda spec: TrialObservation(True, False, False, False))
+        with pytest.raises(InjectionError):
+            campaign.golden_check()
+
+    def test_run_classifies(self):
+        def runner(spec):
+            # even masks get detected, odd masks escape
+            return TrialObservation(
+                failure=False, detected=spec.mask % 2 == 0, output_ok=False,
+                activated=True,
+            )
+
+        campaign = Campaign(runner)
+        specs = [FaultSpec(site=0, mask=m) for m in (2, 3, 4)]
+        result = campaign.run(specs)
+        assert result.counts.counts[Outcome.DETECTED] == 2
+        assert result.counts.counts[Outcome.UNDETECTED] == 1
+        assert result.by_bits(1).counts.total == 2  # mask 3 has two bits
+
+
+class TestTracing:
+    def test_trace_collects_values(self):
+        device, runtime, kernel, args, _ = _setup()
+        fi_kernel = instrument_for_fi(kernel)
+        tracer = ValueTraceLibrary(kernel)
+        runtime.launch(fi_kernel, 1, 4, args, lib=tracer)
+        by_name = tracer.by_name()
+        assert set(by_name) >= {"tid", "acc", "v", "i"}
+        assert sorted(by_name["tid"]) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_sampling(self):
+        device, runtime, kernel, args, _ = _setup()
+        fi_kernel = instrument_for_fi(kernel)
+        dense = ValueTraceLibrary(kernel, sample_every=1)
+        runtime.launch(fi_kernel, 1, 4, args, lib=dense)
+        device2, runtime2, kernel2, args2, _ = _setup()
+        sparse = ValueTraceLibrary(kernel2, sample_every=4)
+        runtime2.launch(instrument_for_fi(kernel2), 1, 4, args2, lib=sparse)
+        assert len(sparse.by_name()["v"]) < len(dense.by_name()["v"])

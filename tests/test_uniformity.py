@@ -1,0 +1,104 @@
+"""Warp-uniformity / divergence analysis tests."""
+
+from repro.kir import parse_kernel
+from repro.kir.analysis import (
+    GRID_SEEDS,
+    branch_divergence,
+    is_warp_uniform,
+    thread_varying_names,
+)
+from repro.core.translator import HauberkTranslator
+from repro.workloads import get_workload
+
+
+SRC = """
+kernel k(float* data, float* out, int n, float scale) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    int bound = n * 2;
+    float uniform_v = scale * 3.0;
+    float mine = data[tid];
+    float shared_v = data[0];
+    if (tid < n) {
+        float inside = uniform_v + 1.0;
+        out[tid] = mine * inside;
+    }
+    if (bound > 4) {
+        out[0] = shared_v;
+    }
+    for (int i = 0; i < bound; i++) {
+        float grows = uniform_v * float(i);
+        out[i] = grows;
+    }
+    for (int j = 0; j < tid; j++) {
+        out[j] = 0.0;
+    }
+}
+"""
+
+
+class TestTaint:
+    def test_taint_propagation(self):
+        k = parse_kernel(SRC)
+        tainted = thread_varying_names(k)
+        assert "tid" in tainted
+        assert "mine" in tainted  # loaded through a tainted index
+        assert "inside" in tainted  # control-dependent on tid < n
+        assert "bound" not in tainted
+        assert "uniform_v" not in tainted
+        assert "shared_v" not in tainted  # data[0] is the same everywhere
+        assert "grows" not in tainted  # uniform loop over a uniform bound
+
+    def test_grid_seeds_widen_taint(self):
+        k = parse_kernel(
+            "kernel k(int n, int* o) { int b = blockIdx.x; o[0] = b; }"
+        )
+        assert "b" not in thread_varying_names(k)  # warp-uniform
+        assert "b" in thread_varying_names(k, seeds=GRID_SEEDS)
+
+    def test_is_warp_uniform(self):
+        k = parse_kernel(SRC)
+        uniform_cond = k.body[6].cond  # bound > 4
+        divergent_cond = k.body[5].cond  # tid < n
+        assert is_warp_uniform(k, uniform_cond)
+        assert not is_warp_uniform(k, divergent_cond)
+
+
+class TestBranchReport:
+    def test_classification(self):
+        k = parse_kernel(SRC)
+        report = branch_divergence(k)
+        kinds = dict(report.branches)
+        assert kinds["tid < n"] == "divergent"
+        assert kinds["bound > 4"] == "uniform"
+        assert kinds["i < bound"] == "uniform"
+        assert kinds["j < tid"] == "divergent"
+        assert report.divergent_count == 2
+        assert report.uniform_count == 2
+
+    def test_detector_checks_compare_like_original(self):
+        """Hauberk's added NL branches diverge no more than the data they
+        guard: a duplicate of a uniform value yields a uniform branch."""
+        k = parse_kernel(
+            """
+kernel k(float scale, float* out, int n) {
+    float u = scale * 2.0;
+    out[0] = u;
+}
+"""
+        )
+        ft = HauberkTranslator().build(k, "ft")
+        report = branch_divergence(ft.kernel)
+        # the inserted check on `u` (uniform) is itself warp-uniform
+        check_kinds = [kind for cond, kind in report.branches if "__dup" in cond]
+        assert check_kinds and all(kind == "uniform" for kind in check_kinds)
+
+    def test_workload_loop_divergence_classification(self):
+        """CP's unguarded main loop is warp-uniform; MRI-Q's loop sits
+        under the `t < numx` boundary guard, which *is* real divergence
+        at the grid tail — the analysis must see both."""
+        cp = branch_divergence(get_workload("CP").kernel)
+        assert dict(cp.branches)["atomid < numatoms"] == "uniform"
+        mriq = branch_divergence(get_workload("MRI-Q").kernel)
+        kinds = dict(mriq.branches)
+        assert kinds["t < numx"] == "divergent"
+        assert kinds["k < numk"] == "divergent"  # control-dependent on the guard
