@@ -5,6 +5,9 @@ Usage::
     python -m repro list                      # available experiments
     python -m repro run fig04 --scale loopy   # regenerate one figure
     python -m repro run all --scale smoke     # everything, fast
+    python -m repro run fig04 --trace t.jsonl # + a JSON-lines trace
+    python -m repro run fig04 --json-dir out/ # + tables as JSON
+    python -m repro metrics fig04             # Prometheus metrics dump
     python -m repro workloads                 # benchmark inventory
     python -m repro inspect CP --mode ft      # show instrumented source
 """
@@ -12,13 +15,39 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from typing import Callable, Dict, Tuple
 
-from repro.harness.config import BENCH, LOOPY, SMOKE, ExperimentScale
+from repro.harness.config import BENCH, LOOPY, SMOKE
 
 _SCALES = {"smoke": SMOKE, "bench": BENCH, "loopy": LOOPY}
+
+
+@contextlib.contextmanager
+def _observability(args):
+    """Install tracer / report sink for the duration of a command."""
+    from repro.harness.reporting import ReportSink, set_report_sink
+    from repro.obs import JsonlSink, Tracer, use_tracer
+
+    trace_path = getattr(args, "trace", None)
+    json_dir = getattr(args, "json_dir", None)
+    if json_dir:
+        set_report_sink(ReportSink(json_dir))
+    try:
+        if trace_path:
+            tracer = Tracer(JsonlSink(trace_path))
+            with use_tracer(tracer):
+                yield
+            tracer.close()
+            print(f"[trace written to {trace_path}]", file=sys.stderr)
+        else:
+            yield
+    finally:
+        if json_dir:
+            set_report_sink(None)
+            print(f"[JSON tables written to {json_dir}]", file=sys.stderr)
 
 
 def _experiments() -> Dict[str, Tuple[Callable, Callable, str]]:
@@ -82,13 +111,46 @@ def cmd_run(args) -> int:
               file=sys.stderr)
         return 2
     scale = _SCALES[args.scale]
-    for name in names:
-        run, show, desc = experiments[name]
-        print(f"== {name}: {desc} (scale={args.scale}) ==")
-        start = time.perf_counter()
-        result = run(scale)
-        show(result)
-        print(f"[{name} took {time.perf_counter() - start:.1f}s]\n")
+    with _observability(args):
+        for name in names:
+            run, show, desc = experiments[name]
+            print(f"== {name}: {desc} (scale={args.scale}) ==")
+            start = time.perf_counter()
+            result = run(scale)
+            show(result)
+            print(f"[{name} took {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Run experiment(s), then dump the metrics registry instead of tables."""
+    import contextlib as _ctx
+    import io
+
+    from repro.obs import get_registry
+
+    experiments = _experiments()
+    names = list(experiments) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in experiments]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'python -m repro list'",
+              file=sys.stderr)
+        return 2
+    scale = _SCALES[args.scale]
+    with _observability(args):
+        for name in names:
+            run, _show, _desc = experiments[name]
+            with _ctx.redirect_stdout(io.StringIO()):  # tables stay quiet
+                run(scale)
+    registry = get_registry()
+    text = registry.render_json() if args.format == "json" \
+        else registry.render_prometheus()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"[metrics written to {args.output}]", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
     return 0
 
 
@@ -144,7 +206,24 @@ def main(argv=None) -> int:
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
     run_p.add_argument("experiment")
     run_p.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    run_p.add_argument("--trace", metavar="FILE",
+                       help="write a JSON-lines span/event trace to FILE")
+    run_p.add_argument("--json-dir", metavar="DIR",
+                       help="also write every table as JSON into DIR")
     run_p.set_defaults(fn=cmd_run)
+
+    met_p = sub.add_parser(
+        "metrics", help="run experiment(s) and dump the metrics registry"
+    )
+    met_p.add_argument("experiment")
+    met_p.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    met_p.add_argument("--format", choices=("prometheus", "json"),
+                       default="prometheus")
+    met_p.add_argument("--output", metavar="FILE",
+                       help="write the dump to FILE instead of stdout")
+    met_p.add_argument("--trace", metavar="FILE",
+                       help="write a JSON-lines span/event trace to FILE")
+    met_p.set_defaults(fn=cmd_metrics)
 
     sub.add_parser("workloads", help="benchmark inventory").set_defaults(
         fn=cmd_workloads

@@ -21,9 +21,8 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.core.ftlib import HauberkFTLibrary  # noqa: F401  (doc reference)
 from repro.errors import CompileError, KIRValidationError
 from repro.gpu.device import DeviceSpec, GT200_SPEC
 from repro.kir.astnodes import (

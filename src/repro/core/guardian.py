@@ -19,6 +19,8 @@ from repro.core.checkpoint import CheckpointLibrary
 from repro.errors import RecoveryError, UnsupportedSoftwareError
 from repro.gpu.cluster import GPUNode
 from repro.gpu.device import Device
+from repro.obs.events import get_tracer
+from repro.obs.instrument import record_guardian_budget, record_guardian_report
 
 
 @dataclass
@@ -83,41 +85,59 @@ class Guardian:
         device = self.node.healthy_device()
         same_device_failures = 0
         latest_checkpoint = None
-        while report.attempts < self.max_attempts:
-            report.attempts += 1
-            if checkpoint_fn is not None:
-                latest_checkpoint = checkpoint_fn()
-                if self.checkpoints is not None and latest_checkpoint is not None:
-                    self.checkpoints.save(latest_checkpoint)
-            result = launch_fn(device, self.next_budget())
-            if result.status is RunStatus.OK:
-                if result.launch is not None:
-                    self.prev_steps = result.launch.max_thread_steps
-                return result, report
-            # failure path (simulated SIGCHLD)
-            report.failures.append(f"{result.status.value}: {result.failure_reason}")
-            if result.status is RunStatus.HANG:
-                report.hang_kills += 1
-            else:
-                report.crash_restarts += 1
-            same_device_failures += 1
-            if restore_fn is not None and latest_checkpoint is not None:
-                restore_fn(latest_checkpoint)
-                report.checkpoint_restores += 1
-            if same_device_failures >= 2:
-                # repeated failure of the same kernel with the same input:
-                # diagnose the device (Figure 11 left path)
-                report.bist_runs += 1
-                if not self.bist(device):
-                    device = self.node.migrate_from(device)
-                    report.migrations += 1
-                    same_device_failures = 0
-                else:
-                    raise UnsupportedSoftwareError(
-                        "program fails repeatedly on a healthy device "
-                        "(software bug or nondeterminism)"
+        tracer = get_tracer()
+        with tracer.span("guardian.supervise", device=device.device_id) as span:
+            try:
+                while report.attempts < self.max_attempts:
+                    report.attempts += 1
+                    if checkpoint_fn is not None:
+                        latest_checkpoint = checkpoint_fn()
+                        if self.checkpoints is not None and latest_checkpoint is not None:
+                            self.checkpoints.save(latest_checkpoint)
+                    budget = self.next_budget()
+                    record_guardian_budget(budget)
+                    result = launch_fn(device, budget)
+                    if result.status is RunStatus.OK:
+                        if result.launch is not None:
+                            self.prev_steps = result.launch.max_thread_steps
+                        span.set(attempts=report.attempts, restarts=report.restarts)
+                        return result, report
+                    # failure path (simulated SIGCHLD)
+                    report.failures.append(
+                        f"{result.status.value}: {result.failure_reason}"
                     )
-            report.restarts += 1
-        raise RecoveryError(
-            f"guardian gave up after {report.attempts} attempts: {report.failures}"
-        )
+                    tracer.event(
+                        "guardian.failure", status=result.status.value,
+                        reason=result.failure_reason, attempt=report.attempts,
+                    )
+                    if result.status is RunStatus.HANG:
+                        report.hang_kills += 1
+                    else:
+                        report.crash_restarts += 1
+                    same_device_failures += 1
+                    if restore_fn is not None and latest_checkpoint is not None:
+                        restore_fn(latest_checkpoint)
+                        report.checkpoint_restores += 1
+                    if same_device_failures >= 2:
+                        # repeated failure of the same kernel with the same input:
+                        # diagnose the device (Figure 11 left path)
+                        report.bist_runs += 1
+                        if not self.bist(device):
+                            device = self.node.migrate_from(device)
+                            tracer.event(
+                                "guardian.migrate", to_device=device.device_id
+                            )
+                            report.migrations += 1
+                            same_device_failures = 0
+                        else:
+                            raise UnsupportedSoftwareError(
+                                "program fails repeatedly on a healthy device "
+                                "(software bug or nondeterminism)"
+                            )
+                    report.restarts += 1
+                raise RecoveryError(
+                    f"guardian gave up after {report.attempts} attempts: "
+                    f"{report.failures}"
+                )
+            finally:
+                record_guardian_report(report)

@@ -25,7 +25,7 @@ profiler and FT builds observe identical detector indices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.controlblock import DetectorConfig
 from repro.errors import KIRValidationError

@@ -42,7 +42,6 @@ from repro.kir.astnodes import (
     Return,
     Stmt,
     Var,
-    While,
 )
 from repro.kir.analysis.dataflow import names_read_expr, names_read_stmt, names_written_stmt
 from repro.kir.types import DType

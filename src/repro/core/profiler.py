@@ -12,7 +12,7 @@ checking effective on FP data despite its enormous encodable space.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import math
 

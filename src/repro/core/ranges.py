@@ -13,7 +13,7 @@ and minimum values are positive numbers".
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
 from repro.errors import ReproError

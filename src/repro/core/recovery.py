@@ -24,7 +24,7 @@ down to 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -33,6 +33,7 @@ from repro.core.bist import run_bist
 from repro.core.program import HauberkProgram, ProgramResult, RunStatus
 from repro.errors import RecoveryError, UnsupportedSoftwareError
 from repro.gpu.cluster import GPUNode
+from repro.obs.instrument import record_alpha_adjustment
 from repro.swifi.faultmodel import FaultSpec
 from repro.workloads.base import WorkloadInput
 from repro.workloads.spec import ToleranceSpec
@@ -249,6 +250,7 @@ class RecoveryEngine:
             return 1.0
         current = max((d.ranges.alpha for d in detectors.values()), default=1.0)
         new_alpha = self.alpha_controller.adjust(current, self.monitor.ratio)
+        record_alpha_adjustment(current, new_alpha)
         if new_alpha != current:
             self.program.cb.set_alpha_all(new_alpha)
             self.monitor.reset()  # measure afresh under the new bounds

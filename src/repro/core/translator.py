@@ -36,16 +36,18 @@ from repro.core.nonloop import NonLoopInfo, apply_nonloop_detectors
 from repro.errors import KIRValidationError
 from repro.kir.astnodes import (
     Assign,
-    CallStmt,
     Decl,
     For,
     If,
     Kernel,
     Stmt,
     While,
+    walk_stmts,
 )
 from repro.kir.validate import validate_kernel
-from repro.swifi.injector import FI_FUNC, _hook
+from repro.obs.events import get_tracer
+from repro.obs.instrument import record_translator_pass
+from repro.swifi.injector import _hook
 
 MODES = ("original", "profiler", "ft", "fi", "fift")
 
@@ -81,6 +83,13 @@ class InstrumentedKernel:
     loop_info: Optional[LoopDetectorInfo] = None
     #: Wall-clock seconds spent instrumenting (Section IX.D).
     instrumentation_time: float = 0.0
+    #: Statements each derivation rule added (loop / nonloop / fi_hook).
+    statements_added: Dict[str, int] = field(default_factory=dict)
+
+
+def _count_stmts(body: List[Stmt]) -> int:
+    """Total statements in a body, loops/branches included."""
+    return sum(1 for _stmt, _depth in walk_stmts(body))
 
 
 def _attach_fi_hooks(body: List[Stmt]) -> List[Stmt]:
@@ -122,44 +131,62 @@ class HauberkTranslator:
             raise KIRValidationError(f"unknown build mode {mode!r}; pick from {MODES}")
         if not kernel.validated:
             raise KIRValidationError("validate the kernel before translation")
-        start = time.perf_counter()
-        clone = kernel.clone()
-        result = InstrumentedKernel(kernel=clone, mode=mode, options=self.options)
+        with get_tracer().span("translator.build", kernel=kernel.name, mode=mode):
+            start = time.perf_counter()
+            clone = kernel.clone()
+            result = InstrumentedKernel(kernel=clone, mode=mode, options=self.options)
+            added = result.statements_added
+            before = _count_stmts(clone.body)
 
-        if mode == "profiler":
-            info = apply_loop_detectors(
-                clone, maxvar=self.options.maxvar, mode="profile",
-                detector_base=self.options.detector_base,
-            )
-            result.loop_info = info
-            result.detector_configs = info.configs
-        elif mode in ("ft", "fift"):
-            if self.options.enable_loop:
+            if mode == "profiler":
                 info = apply_loop_detectors(
-                    clone, maxvar=self.options.maxvar, mode="ft",
+                    clone, maxvar=self.options.maxvar, mode="profile",
                     detector_base=self.options.detector_base,
                 )
                 result.loop_info = info
                 result.detector_configs = info.configs
-            if self.options.enable_nonloop:
-                result.nonloop_info = apply_nonloop_detectors(
-                    clone, checksum_only=self.options.nl_checksum_only
-                )
-            if mode == "fift":
+                before = self._mark(added, "loop", clone, before)
+            elif mode in ("ft", "fift"):
+                if self.options.enable_loop:
+                    info = apply_loop_detectors(
+                        clone, maxvar=self.options.maxvar, mode="ft",
+                        detector_base=self.options.detector_base,
+                    )
+                    result.loop_info = info
+                    result.detector_configs = info.configs
+                    before = self._mark(added, "loop", clone, before)
+                if self.options.enable_nonloop:
+                    result.nonloop_info = apply_nonloop_detectors(
+                        clone, checksum_only=self.options.nl_checksum_only
+                    )
+                    before = self._mark(added, "nonloop", clone, before)
+                if mode == "fift":
+                    clone.body = _attach_fi_hooks(clone.body)
+                    # param hooks go after the NL header (entry checksum
+                    # XOR-ins) so a parameter fault lands inside the
+                    # checksum's protection window
+                    at = result.nonloop_info.header_len if result.nonloop_info else 0
+                    clone.body[at:at] = [_hook(p.site, p.name) for p in clone.params]
+                    before = self._mark(added, "fi_hook", clone, before)
+            elif mode == "fi":
                 clone.body = _attach_fi_hooks(clone.body)
-                # param hooks go after the NL header (entry checksum
-                # XOR-ins) so a parameter fault lands inside the
-                # checksum's protection window
-                at = result.nonloop_info.header_len if result.nonloop_info else 0
-                clone.body[at:at] = [_hook(p.site, p.name) for p in clone.params]
-        elif mode == "fi":
-            clone.body = _attach_fi_hooks(clone.body)
-            clone.body = [_hook(p.site, p.name) for p in clone.params] + clone.body
-        # mode == "original": pass through
+                clone.body = [_hook(p.site, p.name) for p in clone.params] + clone.body
+                before = self._mark(added, "fi_hook", clone, before)
+            # mode == "original": pass through
 
-        validate_kernel(clone)
-        result.instrumentation_time = time.perf_counter() - start
+            validate_kernel(clone)
+            result.instrumentation_time = time.perf_counter() - start
+            record_translator_pass(
+                mode, kernel.name, result.instrumentation_time, added
+            )
         return result
+
+    @staticmethod
+    def _mark(added: Dict[str, int], rule: str, clone: Kernel, before: int) -> int:
+        """Record how many statements ``rule`` just added; returns new total."""
+        now = _count_stmts(clone.body)
+        added[rule] = added.get(rule, 0) + (now - before)
+        return now
 
     def build_all(self, kernel: Kernel) -> Dict[str, InstrumentedKernel]:
         """All five Figure 7 build products."""

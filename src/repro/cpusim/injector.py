@@ -11,7 +11,7 @@ detection (no detectors on the plain CPU programs): failure (segfault
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 

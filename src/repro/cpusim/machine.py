@@ -20,7 +20,7 @@ SHR FADD FSUB FMUL FDIV FSQRT JMP JZ JNZ BLT BGE PUSH POP CALL RET HALT.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.bits import bits_to_float, bits_to_int, float_to_bits, int_to_bits, wrap_i32

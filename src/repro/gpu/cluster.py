@@ -13,7 +13,7 @@ tests can exercise the exponential back-off deterministically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import RecoveryError

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
-from repro.errors import CompileError, LaunchError
+from repro.errors import CompileError, KernelCrash, KernelHang, LaunchError
 from repro.gpu.costmodel import CostModel
 from repro.gpu.device import Device
 from repro.gpu.memory import Allocation
@@ -23,6 +23,8 @@ from repro.kir.interp.compiler import CompiledKernel
 from repro.kir.interp.evalcore import ExecContext, InstrumentationLibrary
 from repro.kir.interp.lockstep import LockstepProgram
 from repro.kir.types import DType
+from repro.obs.events import get_tracer
+from repro.obs.instrument import record_launch, record_launch_failure
 
 Dim = Union[int, Tuple[int, int]]
 
@@ -127,6 +129,50 @@ class GPURuntime:
         ctx = ExecContext(self.device.memory, lib=lib, budget=budget)
         n_threads = gx * gy * bx * by
         shared_decls = kernel.shared
+        with get_tracer().span(
+            "gpu.launch", kernel=kernel.name, device=self.device.device_id,
+            grid=[gx, gy], block=[bx, by], n_threads=n_threads,
+        ) as span:
+            try:
+                self._run_grid(kernel, prog, ctx, base_frame, gx, gy, bx, by,
+                               shared_decls)
+            except KernelHang as exc:
+                record_launch_failure(kernel.name, "hang")
+                span.set(failure="hang", reason=str(exc))
+                raise
+            except KernelCrash as exc:
+                record_launch_failure(kernel.name, "crash")
+                span.set(failure="crash", reason=str(exc))
+                raise
+
+            ctx.reset_thread(-1, -1)  # fold the final thread into max_steps
+            lanes = min(n_threads, self.device.spec.parallel_lanes)
+            spill = self.costmodel.spill_factor(
+                pressure, self.device.spec.registers_per_thread
+            )
+            result = LaunchResult(
+                kernel_name=kernel.name,
+                n_threads=n_threads,
+                total_cycles=ctx.cycles,
+                loop_cycles=ctx.loop_cycles,
+                kernel_time=ctx.cycles / lanes * spill,
+                register_pressure=pressure,
+                spill_factor=spill,
+                max_thread_steps=ctx.max_steps,
+            )
+            record_launch(result)
+            span.set(
+                total_cycles=result.total_cycles,
+                kernel_time=result.kernel_time,
+                loop_fraction=result.loop_fraction,
+                spill_factor=spill,
+                register_pressure=pressure,
+            )
+        return result
+
+    def _run_grid(self, kernel, prog, ctx, base_frame, gx, gy, bx, by,
+                  shared_decls) -> None:
+        """Execute every thread of the grid (the measured inner loop)."""
         for block_y in range(gy):
             for block_x in range(gx):
                 ctx.block = block_y * gx + block_x
@@ -155,22 +201,6 @@ class GPURuntime:
                             fr["threadIdx.y"] = ty
                             ctx.reset_thread(ctx.block, ty * bx + tx)
                             prog.run_thread(fr, ctx)
-
-        ctx.reset_thread(-1, -1)  # fold the final thread into max_steps
-        lanes = min(n_threads, self.device.spec.parallel_lanes)
-        spill = self.costmodel.spill_factor(
-            pressure, self.device.spec.registers_per_thread
-        )
-        return LaunchResult(
-            kernel_name=kernel.name,
-            n_threads=n_threads,
-            total_cycles=ctx.cycles,
-            loop_cycles=ctx.loop_cycles,
-            kernel_time=ctx.cycles / lanes * spill,
-            register_pressure=pressure,
-            spill_factor=spill,
-            max_thread_steps=ctx.max_steps,
-        )
 
     @staticmethod
     def _lower_args(kernel: Kernel, args: Dict[str, object]) -> Dict[str, object]:

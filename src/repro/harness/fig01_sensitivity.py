@@ -24,9 +24,9 @@ from repro.cpusim import (
 )
 from repro.harness.config import BENCH, ExperimentScale
 from repro.harness.reporting import pct, print_table
-from repro.swifi import Campaign, build_fault_specs, enumerate_targets, select_targets
+from repro.swifi import Campaign, build_fault_specs, enumerate_targets
 from repro.swifi.outcomes import Outcome
-from repro.workloads import all_workloads, get_workload
+from repro.workloads import get_workload
 
 import numpy as np
 
@@ -83,15 +83,13 @@ def _gpu_rows(
                 # per process and would break run-to-run reproducibility
                 seed=scale.seed + 101 * CLASSES.index(cls),
             )[:trials_cap_per_class]
-            result = campaign.run(specs)
+            summary = campaign.run(specs).summary()
+            outcomes = summary["outcomes"]
             t = tallies[cls]
-            t[0] += result.counts.counts[Outcome.FAILURE]
-            t[1] += result.counts.counts[Outcome.UNDETECTED]
-            t[2] += (
-                result.counts.counts[Outcome.MASKED]
-                + result.counts.counts[Outcome.DETECTED_MASKED]
-            )
-            t[3] += result.counts.total
+            t[0] += outcomes[Outcome.FAILURE.value]
+            t[1] += outcomes[Outcome.UNDETECTED.value]
+            t[2] += outcomes[Outcome.MASKED.value] + outcomes[Outcome.DETECTED_MASKED.value]
+            t[3] += summary["trials"]
     rows = []
     for cls in CLASSES:
         fail, sdc, masked, total = tallies[cls]

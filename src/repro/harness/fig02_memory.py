@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.harness.config import BENCH, ExperimentScale
 from repro.harness.reporting import print_table

@@ -11,9 +11,7 @@ pattern across the frame — a noticeable corruption.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
-import numpy as np
 
 from repro.core.program import HauberkProgram, RunStatus
 from repro.harness.config import BENCH, ExperimentScale
@@ -50,8 +48,8 @@ def run_fig03(scale: ExperimentScale = BENCH) -> Fig03Result:
     args, handles = wl.setup_memory(prog.device, inp)
     amp_addr = handles["spectrum"].base + 2  # wave 0 amplitude
     prog.device.memory.inject_word_fault(amp_addr, 1 << 25)
-    launch = prog.runtime.launch(wl.kernel, inp.grid, inp.block, args,
-                                 budget=wl.hang_budget)
+    prog.runtime.launch(wl.kernel, inp.grid, inp.block, args,
+                        budget=wl.hang_budget)
     corrupted = wl.read_output(prog.device, inp, handles)
     intermittent = frame_corruption_stats(corrupted, golden)
 

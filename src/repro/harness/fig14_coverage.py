@@ -30,6 +30,8 @@ NAMES = ("CP", "MRI-FHD", "MRI-Q", "PNS", "RPES", "SAD", "TPACF")
 class Fig14Result:
     #: (benchmark, n_bits) -> outcome tally
     cells: Dict[Tuple[str, int], OutcomeCounts] = field(default_factory=dict)
+    #: (benchmark, n_bits) -> the campaign's machine-readable summary()
+    summaries: Dict[Tuple[str, int], dict] = field(default_factory=dict)
 
     def average_coverage(self, n_bits: int = None) -> float:
         cells = [
@@ -72,6 +74,7 @@ def run_fig14(
             )
             cell = campaign.run(specs)
             result.cells[(name, bits)] = cell.counts
+            result.summaries[(name, bits)] = cell.summary()
     return result
 
 

@@ -1,8 +1,18 @@
-"""Plain-text tables and series for the figure drivers."""
+"""Plain-text tables, JSON report sinks, and series for the figure drivers.
+
+Every figure driver renders through :func:`print_table`.  When a
+:class:`ReportSink` is installed (``--json-dir`` on the CLI, or
+:func:`set_report_sink` programmatically), each table is additionally
+written as a machine-readable JSON document next to the text output,
+so downstream tooling can diff experiment runs without scraping tables.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+import pathlib
+import re
+from typing import Iterable, List, Optional, Sequence
 
 
 def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -22,8 +32,12 @@ def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    rows = [list(r) for r in rows]  # materialize: rendered twice below
     print(format_table(title, headers, rows))
     print()
+    sink = _report_sink
+    if sink is not None:
+        sink.emit(title, headers, rows)
 
 
 def _cell(value) -> str:
@@ -35,3 +49,75 @@ def _cell(value) -> str:
 def pct(fraction: float) -> str:
     """Render a [0,1] fraction as a percentage cell."""
     return f"{100.0 * fraction:5.1f}%"
+
+
+# ---------------------------------------------------------------------------
+# machine-readable table output
+# ---------------------------------------------------------------------------
+
+
+def slugify(title: str) -> str:
+    """A filesystem-safe slug for a table title."""
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+    return slug or "table"
+
+
+class ReportSink:
+    """Writes every emitted table as one JSON document in a directory.
+
+    The document schema is stable::
+
+        {"title": str, "headers": [str, ...], "rows": [[cell, ...], ...]}
+
+    Cells keep their Python types where JSON can represent them
+    (numbers, strings, booleans); anything else is stringified.
+    """
+
+    def __init__(self, directory):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Paths written by this sink, in emission order.
+        self.written: List[pathlib.Path] = []
+
+    def emit(self, title: str, headers: Sequence[str], rows: Iterable[Sequence]):
+        payload = {
+            "title": title,
+            "headers": [str(h) for h in headers],
+            "rows": [[self._jsonable(c) for c in row] for row in rows],
+        }
+        path = self.directory / f"{slugify(title)}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        self.written.append(path)
+        return path
+
+    @staticmethod
+    def _jsonable(cell):
+        if isinstance(cell, bool) or cell is None:
+            return cell
+        if isinstance(cell, int):
+            return cell
+        if isinstance(cell, float):
+            # NaN/Inf are not valid JSON; stringify them
+            return cell if cell == cell and abs(cell) != float("inf") else str(cell)
+        if isinstance(cell, str):
+            return cell
+        return str(cell)
+
+    @staticmethod
+    def load(path) -> dict:
+        """Read one emitted table back (round-trip helper)."""
+        return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+
+
+_report_sink: Optional[ReportSink] = None
+
+
+def get_report_sink() -> Optional[ReportSink]:
+    return _report_sink
+
+
+def set_report_sink(sink: Optional[ReportSink]) -> Optional[ReportSink]:
+    """Install (or with ``None`` remove) the process-wide report sink."""
+    global _report_sink
+    _report_sink = sink
+    return sink

@@ -10,7 +10,7 @@ instrumentation site is present in the built kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.core.audit import audit_build
 from repro.core.translator import HauberkTranslator

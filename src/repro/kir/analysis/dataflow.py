@@ -14,11 +14,8 @@ from typing import Dict, List, Optional, Set
 from repro.errors import KIRValidationError
 from repro.kir.astnodes import (
     Assign,
-    AtomicAdd,
     BinOp,
     Call,
-    CallStmt,
-    Const,
     Decl,
     Expr,
     For,
@@ -26,9 +23,7 @@ from repro.kir.astnodes import (
     Kernel,
     Load,
     SharedLoad,
-    SharedStore,
     Stmt,
-    Store,
     Var,
     While,
     walk_exprs,

@@ -24,7 +24,7 @@ selection — matches; the Figure 9 bench asserts the paper's choice
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Set
 
 from repro.errors import KIRValidationError
 from repro.kir.astnodes import Kernel

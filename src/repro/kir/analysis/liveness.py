@@ -23,13 +23,11 @@ from repro.errors import KIRValidationError
 from repro.kir.astnodes import (
     Assign,
     Decl,
-    For,
     Kernel,
     Stmt,
-    While,
     walk_stmts,
 )
-from repro.kir.analysis.dataflow import names_read_stmt, _loop_spans
+from repro.kir.analysis.dataflow import _loop_spans
 
 
 @dataclass

@@ -26,7 +26,7 @@ analysis to place reconvergence points and to hoist uniform work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.errors import KIRValidationError
 from repro.kir.astnodes import (

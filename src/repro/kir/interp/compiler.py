@@ -11,7 +11,7 @@ fraction and the Figure 13 overheads fall out of execution directly.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.errors import KernelCrash, KernelHang, KIRError, KIRValidationError
 from repro.kir.astnodes import (
@@ -127,7 +127,7 @@ def compile_expr(e: Expr) -> ExprFn:
 
 def _compile_binop(e: BinOp) -> ExprFn:
     op = e.op
-    l = compile_expr(e.left)
+    l = compile_expr(e.left)  # noqa: E741 -- l/r mirror the BinOp fields
     r = compile_expr(e.right)
     lt, rt = e.left.dtype, e.right.dtype
     int_arith = e.dtype is DType.INT32 and lt is DType.INT32 and rt is DType.INT32

@@ -1,0 +1,62 @@
+"""``repro.obs`` — dependency-free observability for the whole stack.
+
+Three small modules:
+
+* :mod:`repro.obs.events` — structured tracing: a process-wide
+  :class:`Tracer` emitting span/event records into pluggable sinks
+  (JSON-lines file, in-memory ring buffer, null).
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket histograms with Prometheus text exposition
+  and JSON export.
+* :mod:`repro.obs.instrument` — the helpers the instrumented layers
+  (GPU runtime, SWIFI campaigns, guardian, translator, recovery) call.
+
+The default tracer is a :class:`NullTracer` whose operations are
+no-ops, so instrumented code paths run at full speed until someone
+installs a real tracer with :func:`set_tracer` / :func:`use_tracer`.
+See ``docs/observability.md`` for the record schema and metric names.
+"""
+
+from repro.obs.events import (
+    JsonlSink,
+    NullSink,
+    NullTracer,
+    RingBufferSink,
+    TraceSink,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+    validate_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    fresh_registry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.instrument import traced
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "TraceSink",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "validate_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "fresh_registry",
+    "traced",
+]

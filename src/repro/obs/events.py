@@ -1,0 +1,274 @@
+"""Structured tracing: spans, events, and pluggable sinks.
+
+A :class:`Tracer` emits flat JSON-serializable records describing what
+the framework did and when.  Two record types exist:
+
+``span``
+    A named, timed region with ``span_id`` / ``parent_id`` links and a
+    monotonic ``t_start`` / ``t_end`` pair (seconds since the tracer's
+    epoch).  Spans nest: a child span opened inside a parent's ``with``
+    block carries the parent's id.  The record is emitted when the span
+    closes, so ``dur`` is always present.
+
+``event``
+    A point-in-time observation attached to the currently open span
+    (``span_id`` is ``None`` at top level).
+
+Sinks decide where records go: :class:`JsonlSink` appends one JSON
+object per line to a file, :class:`RingBufferSink` keeps the last *N*
+records in memory (cheap always-on flight recorder), and
+:class:`NullSink` drops everything.
+
+The module keeps one process-wide tracer (default: :class:`NullTracer`,
+whose ``span``/``event`` are no-ops) so instrumented call-sites never
+need a tracer argument; swap it with :func:`set_tracer` or scoped
+:func:`use_tracer`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+
+class TraceSink:
+    """Destination for trace records; subclasses override :meth:`emit`."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (files); idempotent."""
+
+
+class NullSink(TraceSink):
+    """Swallows every record."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._records: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self._records.append(record)
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+class JsonlSink(TraceSink):
+    """Appends one JSON object per line to ``path``."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, default=str))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+class _SpanHandle:
+    """Context manager for one open span; attributes may be added late."""
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "t_start", "attrs")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], t_start: float, attrs: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.t_start = t_start
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        """Attach more attributes to the span before it closes."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._close_span(self)
+
+
+class _NullSpan:
+    """Shared no-op span handle used by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Emits span/event records to one sink with monotonic timing."""
+
+    enabled = True
+
+    def __init__(self, sink: Optional[TraceSink] = None,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.sink = sink if sink is not None else RingBufferSink()
+        self._clock = clock
+        self._epoch = clock()
+        self._next_id = 1
+        self._stack: List[_SpanHandle] = []
+
+    # -- time ------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since this tracer was created (monotonic)."""
+        return self._clock() - self._epoch
+
+    # -- spans -----------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a nested span; use as a context manager."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1].span_id if self._stack else None
+        handle = _SpanHandle(self, name, span_id, parent_id, self.now(), attrs)
+        self._stack.append(handle)
+        return handle
+
+    def _close_span(self, handle: _SpanHandle) -> None:
+        # tolerate out-of-order exits (generators, leaked handles): pop
+        # everything above the closing span so nesting stays consistent
+        while self._stack and self._stack[-1] is not handle:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        t_end = self.now()
+        self.sink.emit({
+            "type": "span",
+            "name": handle.name,
+            "span_id": handle.span_id,
+            "parent_id": handle.parent_id,
+            "t_start": handle.t_start,
+            "t_end": t_end,
+            "dur": t_end - handle.t_start,
+            "attrs": handle.attrs,
+        })
+
+    # -- events ----------------------------------------------------------
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event attached to the innermost open span."""
+        self.sink.emit({
+            "type": "event",
+            "name": name,
+            "span_id": self._stack[-1].span_id if self._stack else None,
+            "t": self.now(),
+            "attrs": attrs,
+        })
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class NullTracer(Tracer):
+    """Zero-overhead tracer: every operation is a no-op.
+
+    Instrumented call-sites hold ``get_tracer()`` results only for the
+    duration of one call, so installing a real tracer takes effect on
+    the very next launch/trial/build.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(NullSink())
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+_default_tracer: Tracer = NullTracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (a :class:`NullTracer` unless installed)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` globally (``None`` restores the NullTracer)."""
+    global _default_tracer
+    _default_tracer = tracer if tracer is not None else NullTracer()
+    return _default_tracer
+
+
+class use_tracer:
+    """Scoped tracer installation::
+
+        with use_tracer(Tracer(JsonlSink("run.jsonl"))) as t:
+            prog.run(...)
+    """
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+        self._previous: Optional[Tracer] = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = get_tracer()
+        set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_tracer(self._previous)
+
+
+def validate_trace(records: List[Dict[str, Any]]) -> None:
+    """Check span records for well-formed nesting; raises ValueError.
+
+    Every span's ``parent_id`` must reference an emitted span whose
+    interval contains the child's interval.  Used by tests and by
+    ``python -m repro`` when ``--trace`` verification is requested.
+    """
+    spans = {r["span_id"]: r for r in records if r.get("type") == "span"}
+    for rec in spans.values():
+        if rec["t_end"] < rec["t_start"]:
+            raise ValueError(f"span {rec['span_id']} ends before it starts")
+        parent = rec.get("parent_id")
+        if parent is None:
+            continue
+        if parent not in spans:
+            raise ValueError(f"span {rec['span_id']} has unknown parent {parent}")
+        prec = spans[parent]
+        if rec["t_start"] < prec["t_start"] or rec["t_end"] > prec["t_end"]:
+            raise ValueError(
+                f"span {rec['span_id']} [{rec['t_start']}, {rec['t_end']}] "
+                f"escapes parent {parent} [{prec['t_start']}, {prec['t_end']}]"
+            )

@@ -18,6 +18,8 @@ import numpy as np
 from repro.bits import MaskGenerator
 from repro.errors import InjectionError
 from repro.kir.analysis.dataflow import SiteInfo
+from repro.obs.events import get_tracer
+from repro.obs.instrument import record_campaign, record_trial
 from repro.swifi.faultmodel import FaultSpec
 from repro.swifi.outcomes import Outcome, OutcomeCounts, classify_outcome
 
@@ -58,6 +60,23 @@ class CampaignResult:
             return 0.0
         return sum(t.observation.activated for t in self.trials) / len(self.trials)
 
+    def summary(self) -> dict:
+        """Machine-readable campaign digest (the shared tally).
+
+        Used by the metrics layer and the figure harnesses instead of
+        re-counting outcomes ad hoc; keys: ``trials``, ``outcomes`` (by
+        class name), ``activation_ratio``, ``coverage``, ``sdc_ratio``,
+        ``failure_ratio``.
+        """
+        return {
+            "trials": len(self.trials),
+            "outcomes": {o.value: self.counts.counts[o] for o in Outcome},
+            "activation_ratio": self.activation_ratio,
+            "coverage": self.counts.coverage,
+            "sdc_ratio": self.counts.sdc_ratio,
+            "failure_ratio": self.counts.failure_ratio,
+        }
+
     def filter(self, predicate: Callable[[TrialResult], bool]) -> "CampaignResult":
         sub = CampaignResult()
         for t in self.trials:
@@ -92,10 +111,19 @@ class Campaign:
 
     def run(self, specs: Iterable[FaultSpec]) -> CampaignResult:
         result = CampaignResult()
-        for spec in specs:
-            obs = self.runner(spec)
-            outcome = classify_outcome(obs.failure, obs.detected, obs.output_ok)
-            result.add(TrialResult(spec=spec, outcome=outcome, observation=obs))
+        tracer = get_tracer()
+        with tracer.span("swifi.campaign") as span:
+            for spec in specs:
+                obs = self.runner(spec)
+                outcome = classify_outcome(obs.failure, obs.detected, obs.output_ok)
+                result.add(TrialResult(spec=spec, outcome=outcome, observation=obs))
+                record_trial(outcome, spec)
+                tracer.event(
+                    "swifi.trial", site=spec.site, label=spec.label,
+                    outcome=outcome.value, activated=obs.activated,
+                )
+            record_campaign(result)
+            span.set(**result.summary())
         return result
 
 

@@ -9,7 +9,7 @@ distributions of Figure 10 without touching the kernel further.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.kir.analysis.dataflow import SiteInfo, collect_sites
 from repro.kir.astnodes import Kernel
@@ -28,7 +28,10 @@ class ValueTraceLibrary(InstrumentationLibrary):
 
     def lib_fi(self, ctx: ExecContext, frame: dict, site: int, name: str) -> None:
         self._counter[site] += 1
-        if self._counter[site] % self.sample_every:
+        # record the 1st occurrence and every N-th thereafter (1, N+1,
+        # 2N+1, ...); the previous `count % N` test silently dropped the
+        # first N-1 definitions at every site
+        if (self._counter[site] - 1) % self.sample_every:
             return
         bucket = self.values[site]
         if len(bucket) < self.max_per_site:

@@ -1,9 +1,8 @@
 """R-Naive and R-Scatter baseline tests."""
 
-import numpy as np
 import pytest
 
-from repro.baselines import RNaiveHarness, apply_rscatter, rscatter_kernel
+from repro.baselines import RNaiveHarness, rscatter_kernel
 from repro.core.ftlib import HauberkFTLibrary
 from repro.core.controlblock import ControlBlock
 from repro.errors import CompileError

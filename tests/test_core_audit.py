@@ -5,7 +5,7 @@ import pytest
 from repro.core.audit import audit_build
 from repro.core.nonloop import CHECKSUM_VAR, VALIDATE_FUNC
 from repro.core.translator import HauberkTranslator, TranslatorOptions
-from repro.kir.astnodes import Assign, BinOp, CallStmt, Const, Var, walk_stmts
+from repro.kir.astnodes import Assign, BinOp, CallStmt
 from repro.workloads import all_workloads, get_workload
 
 

@@ -1,6 +1,5 @@
 """Control block, FT library, translator modes, and HauberkProgram tests."""
 
-import numpy as np
 import pytest
 
 from repro.core.controlblock import ControlBlock, DetectorConfig

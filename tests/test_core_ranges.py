@@ -1,13 +1,11 @@
 """Range/profiler tests including hypothesis properties."""
 
-import math
 
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.profiler import (
-    DetectorProfile,
     RangeProfiler,
     learn_fp_ranges,
     learn_int_ranges,

@@ -9,7 +9,6 @@ from repro.core.guardian import Guardian
 from repro.core.program import HauberkProgram, RunStatus
 from repro.core.recovery import (
     AlphaController,
-    DiagnosisResult,
     FalsePositiveMonitor,
     RecoveryEngine,
 )

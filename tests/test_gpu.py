@@ -13,7 +13,6 @@ from repro.errors import (
 from repro.gpu import (
     CostModel,
     Device,
-    DeviceSpec,
     GPUNode,
     GPURuntime,
     GlobalMemory,
@@ -21,7 +20,6 @@ from repro.gpu import (
     hardware_components_of,
 )
 from repro.kir import parse_kernel
-from repro.kir.parser import tokenize
 from repro.kir.types import DType
 
 from conftest import launch_saxpy

@@ -1,6 +1,5 @@
 """Unit tests of harness driver internals (result containers, helpers)."""
 
-import math
 
 import numpy as np
 import pytest

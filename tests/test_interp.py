@@ -9,7 +9,7 @@ from repro.errors import KernelCrash, KernelHang, KIRValidationError
 from repro.gpu.device import Device
 from repro.gpu.runtime import GPURuntime
 from repro.kir import parse_kernel
-from repro.kir.interp.compiler import CompiledKernel, compile_kernel
+from repro.kir.interp.compiler import CompiledKernel
 from repro.kir.interp.evalcore import (
     ExecContext,
     InstrumentationLibrary,

@@ -1,6 +1,5 @@
 """Analysis tests: dataflow sites, loops/trip counts, dependency, liveness."""
 
-import pytest
 
 from repro.kir import parse_kernel
 from repro.kir.analysis import (
@@ -19,7 +18,6 @@ from repro.kir.analysis.dependency import (
 )
 from repro.kir.analysis.loops import top_level_loops
 from repro.kir.interp.compiler import compile_expr
-from repro.kir.types import DType
 
 
 LOOP_SRC = """

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import KIRParseError, KIRValidationError
 from repro.kir import parse_kernel, kernel_to_source
 from repro.kir.astnodes import (
-    Assign,
     AtomicAdd,
     BinOp,
     Const,
@@ -16,7 +15,6 @@ from repro.kir.astnodes import (
     SharedLoad,
     SharedStore,
     Store,
-    SyncThreads,
     While,
 )
 from repro.kir.parser import tokenize

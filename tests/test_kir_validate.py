@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import KIRParseError, KIRTypeError, KIRValidationError
 from repro.kir import parse_kernel
-from repro.kir.astnodes import Assign, Const, Decl, For, Kernel, KernelParam, Var
+from repro.kir.astnodes import Const, Decl, Kernel, KernelParam
 from repro.kir.builder import decl_float, decl_int, make_kernel
 from repro.kir.types import DType, parse_dtype, promote
 from repro.kir.validate import validate_kernel

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.program import HauberkProgram
 from repro.core.translator import HauberkTranslator
 from repro.errors import KIRParseError
 from repro.gpu.device import Device

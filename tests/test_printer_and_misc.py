@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import (
@@ -22,7 +21,7 @@ from repro.kir.interp.evalcore import (
     _safe_pow,
     _safe_rsqrt,
 )
-from repro.kir.printer import expr_to_source, format_const
+from repro.kir.printer import format_const
 
 
 class TestPrinter:

@@ -6,7 +6,6 @@ execute, and report checksum == 0 and mismatch == 0 on a fault-free
 run — the invariant everything in Section V.A rests on.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core.controlblock import ControlBlock

@@ -1,0 +1,115 @@
+"""Tests for harness/reporting.py: tables, pct, and the JSON sink."""
+
+import json
+
+import pytest
+
+from repro.harness.reporting import (
+    ReportSink,
+    format_table,
+    get_report_sink,
+    pct,
+    print_table,
+    set_report_sink,
+    slugify,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_sink():
+    yield
+    set_report_sink(None)
+
+
+class TestFormatTable:
+    def test_column_widths_fit_widest_cell(self):
+        text = format_table(
+            "T", ["a", "long-header"], [("wider-than-header", 1), ("x", 22)]
+        )
+        lines = text.splitlines()
+        header, rule, row1, row2 = lines[2:]
+        # every rule segment is exactly as wide as its column
+        widths = [len(seg) for seg in rule.split("  ")]
+        assert widths == [len("wider-than-header"), len("long-header")]
+        # all body lines share the same column starts
+        assert row1.index("1") == header.index("long-header")
+        assert row2.index("22") == header.index("long-header")
+
+    def test_title_rule_matches_title(self):
+        text = format_table("My Title", ["h"], [])
+        lines = text.splitlines()
+        assert lines[0] == "My Title"
+        assert lines[1] == "=" * len("My Title")
+
+    def test_float_cells_render_3_significant_digits(self):
+        text = format_table("T", ["v"], [(0.123456,), (1234.5678,)])
+        assert "0.123" in text
+        assert "1.23e+03" in text
+
+    def test_empty_rows(self):
+        text = format_table("T", ["a", "b"], [])
+        assert len(text.splitlines()) == 4  # title, rule, header, dashes
+
+
+class TestPct:
+    def test_rounding(self):
+        assert pct(0.123) == " 12.3%"
+        assert pct(0.9995) == "100.0%"  # rounds up at the boundary
+        assert pct(0.0) == "  0.0%"
+        assert pct(1.0) == "100.0%"
+
+    def test_fixed_width(self):
+        # cells align in tables: width is constant for in-range values
+        assert len(pct(0.0)) == len(pct(0.55)) == len(pct(1.0)) == 6
+
+
+class TestSlugify:
+    def test_safe_names(self):
+        assert slugify("Figure 1 - error sensitivity (a/b)") == (
+            "figure-1-error-sensitivity-a-b"
+        )
+        assert slugify("///") == "table"
+
+
+class TestReportSink:
+    def test_round_trip(self, tmp_path):
+        sink = ReportSink(tmp_path)
+        path = sink.emit("My Table", ["name", "value"], [["a", 1], ["b", 2.5]])
+        doc = ReportSink.load(path)
+        assert doc == {
+            "title": "My Table",
+            "headers": ["name", "value"],
+            "rows": [["a", 1], ["b", 2.5]],
+        }
+        assert sink.written == [path]
+
+    def test_non_jsonable_cells_stringified(self, tmp_path):
+        class Odd:
+            def __str__(self):
+                return "odd!"
+
+        sink = ReportSink(tmp_path)
+        path = sink.emit("T", ["c"], [[Odd()], [float("nan")]])
+        doc = json.loads(path.read_text())
+        assert doc["rows"][0] == ["odd!"]
+        assert doc["rows"][1] == ["nan"]
+
+    def test_print_table_routes_to_installed_sink(self, tmp_path, capsys):
+        sink = ReportSink(tmp_path)
+        set_report_sink(sink)
+        assert get_report_sink() is sink
+        print_table("Routed", ["h"], [(1,), (2,)])
+        out = capsys.readouterr().out
+        assert "Routed" in out  # text table still printed
+        assert len(sink.written) == 1
+        assert ReportSink.load(sink.written[0])["rows"] == [[1], [2]]
+
+    def test_print_table_without_sink(self, capsys):
+        set_report_sink(None)
+        print_table("Plain", ["h"], [(1,)])
+        assert "Plain" in capsys.readouterr().out
+
+    def test_emit_accepts_iterator_rows(self, tmp_path):
+        sink = ReportSink(tmp_path)
+        path = sink.emit("Iter", ["x"], iter([(i,) for i in range(3)]))
+        assert ReportSink.load(path)["rows"] == [[0], [1], [2]]

@@ -253,3 +253,25 @@ class TestTracing:
         sparse = ValueTraceLibrary(kernel2, sample_every=4)
         runtime2.launch(instrument_for_fi(kernel2), 1, 4, args2, lib=sparse)
         assert len(sparse.by_name()["v"]) < len(dense.by_name()["v"])
+
+    def test_sampling_records_first_occurrence(self):
+        """Regression: sample_every=N must keep occurrences 1, N+1, 2N+1...
+
+        The old ``count % N`` test dropped the first N-1 definitions at
+        every site, so a site defined fewer than N times was invisible.
+        """
+        device, runtime, kernel, args, _ = _setup()
+        lib = ValueTraceLibrary(kernel, sample_every=3)
+        runtime.launch(instrument_for_fi(kernel), 1, 4, args, lib=lib)
+        by_name = lib.by_name()
+        # tid's site sees 4 definitions (one per thread); occurrences
+        # 1 and 4 are kept — the first (thread 0) was dropped pre-fix
+        assert sorted(by_name["tid"]) == [0.0, 3.0]
+        # v's site sees 8 definitions x 4 threads = 32; occurrences
+        # 1, 4, 7, ..., 31 are kept -> 11 samples
+        assert len(by_name["v"]) == 11
+        # dense tracing of the same kernel is a superset per site
+        device2, runtime2, kernel2, args2, _ = _setup()
+        dense = ValueTraceLibrary(kernel2, sample_every=1)
+        runtime2.launch(instrument_for_fi(kernel2), 1, 4, args2, lib=dense)
+        assert set(by_name["v"]) <= set(dense.by_name()["v"])
