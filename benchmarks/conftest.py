@@ -8,16 +8,20 @@ records the full paper-vs-measured story.
 
 Scale: set ``REPRO_BENCH_SCALE=smoke`` for a fast pass; the default
 ``campaign`` preset keeps the whole suite in the tens of minutes while
-staying statistically meaningful.
+staying statistically meaningful.  ``REPRO_BENCH_WORKERS=N`` (or
+``auto``) runs the campaign figures through the parallel execution
+engine (``repro.swifi.parallel``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pathlib
 
 import pytest
 
+from repro.exec import resolve_workers
 from repro.harness.config import SMOKE, ExperimentScale
 
 #: Default benchmark scale: bigger than SMOKE, smaller than the paper's
@@ -39,9 +43,14 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
 
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
-    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "smoke":
-        return SMOKE
-    return CAMPAIGN
+    preset = SMOKE \
+        if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "smoke" \
+        else CAMPAIGN
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    if raw:
+        workers = resolve_workers(raw if raw == "auto" else int(raw))
+        preset = dataclasses.replace(preset, workers=workers)
+    return preset
 
 
 @pytest.fixture

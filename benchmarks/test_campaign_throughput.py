@@ -1,0 +1,101 @@
+"""Campaign throughput — serial vs the parallel execution engine.
+
+Measures trials/second for one CP fault-injection campaign run through
+``repro.swifi.run_campaign`` serially and with 2 / 4 worker processes,
+checks the determinism contract (every configuration produces the same
+``summary()``), and records the numbers in ``BENCH_campaign.json`` at
+the repo root.  Speedups are reported, not asserted: they depend on
+visible CPUs (recorded alongside), and on a single-core container the
+fork pool legitimately measures near-1x.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.program import HauberkProgram
+from repro.exec import fork_available
+from repro.harness.reporting import format_table
+from repro.swifi import build_fault_specs, run_campaign, select_targets
+from repro.workloads import get_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _specs(scale):
+    wl = get_workload("CP")
+    rng = np.random.default_rng(scale.seed + 77)
+    sites = select_targets(wl.kernel, scale.max_targets, rng)
+    inp = wl.generate_input(0)
+    return wl, build_fault_specs(
+        sites,
+        n_threads=inp.n_threads,
+        masks_per_site=scale.masks_per_site,
+        bit_counts=(1, 6),
+        seed=scale.seed + 77,
+    )
+
+
+def test_campaign_throughput(scale, report):
+    wl, specs = _specs(scale)
+    prog = HauberkProgram(wl)
+    prog.train(seeds=[0])
+    # Warm every shared cache (translate, compile, golden) outside the
+    # timed region so each configuration measures trial execution only.
+    run_campaign(prog, specs[:1], mode="fift", workers=1)
+
+    timings = {}
+    summaries = {}
+    for workers in WORKER_COUNTS:
+        if workers > 1 and not fork_available():
+            continue
+        start = time.perf_counter()
+        result = run_campaign(prog, specs, mode="fift", workers=workers)
+        elapsed = time.perf_counter() - start
+        timings[workers] = elapsed
+        summaries[workers] = result.summary()
+
+    serial = timings[1]
+    configs = {}
+    for workers, elapsed in timings.items():
+        configs[str(workers)] = {
+            "workers": workers,
+            "seconds": round(elapsed, 4),
+            "trials_per_sec": round(len(specs) / elapsed, 2),
+            "speedup_vs_serial": round(serial / elapsed, 3),
+        }
+    payload = {
+        "benchmark": "campaign_throughput",
+        "workload": "CP",
+        "mode": "fift",
+        "n_trials": len(specs),
+        "cpu_count": os.cpu_count(),
+        "fork_available": fork_available(),
+        "configs": configs,
+    }
+    (REPO_ROOT / "BENCH_campaign.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = [
+        (c["workers"], f"{c['seconds']:.2f}s", f"{c['trials_per_sec']:.1f}",
+         f"{c['speedup_vs_serial']:.2f}x")
+        for c in configs.values()
+    ]
+    report(format_table(
+        f"Campaign throughput - CP fift, {len(specs)} trials, "
+        f"{os.cpu_count()} visible CPU(s)",
+        ["workers", "wall time", "trials/s", "speedup"],
+        rows,
+    ))
+
+    # determinism contract: identical summary for every worker count
+    for workers, summary in summaries.items():
+        assert summary == summaries[1], f"workers={workers} diverged from serial"
+    assert all(c["trials_per_sec"] > 0 for c in configs.values())

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import dataclasses
 import sys
 import time
 from typing import Callable, Dict, Tuple
@@ -23,6 +24,29 @@ from typing import Callable, Dict, Tuple
 from repro.harness.config import BENCH, LOOPY, SMOKE
 
 _SCALES = {"smoke": SMOKE, "bench": BENCH, "loopy": LOOPY}
+
+
+def _workers_arg(value: str):
+    """argparse type for --workers: a count, or 'auto' for one per CPU."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
+def _resolve_scale(args):
+    """The preset named by --scale, with --workers folded in."""
+    scale = _SCALES[args.scale]
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        from repro.exec import resolve_workers
+
+        scale = dataclasses.replace(scale, workers=resolve_workers(workers))
+    return scale
 
 
 @contextlib.contextmanager
@@ -110,7 +134,7 @@ def cmd_run(args) -> int:
         print(f"unknown experiment(s): {unknown}; try 'python -m repro list'",
               file=sys.stderr)
         return 2
-    scale = _SCALES[args.scale]
+    scale = _resolve_scale(args)
     with _observability(args):
         for name in names:
             run, show, desc = experiments[name]
@@ -136,7 +160,7 @@ def cmd_metrics(args) -> int:
         print(f"unknown experiment(s): {unknown}; try 'python -m repro list'",
               file=sys.stderr)
         return 2
-    scale = _SCALES[args.scale]
+    scale = _resolve_scale(args)
     with _observability(args):
         for name in names:
             run, _show, _desc = experiments[name]
@@ -206,6 +230,8 @@ def main(argv=None) -> int:
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
     run_p.add_argument("experiment")
     run_p.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    run_p.add_argument("--workers", type=_workers_arg, metavar="N",
+                       help="campaign worker processes (or 'auto'; default 1)")
     run_p.add_argument("--trace", metavar="FILE",
                        help="write a JSON-lines span/event trace to FILE")
     run_p.add_argument("--json-dir", metavar="DIR",
@@ -217,6 +243,8 @@ def main(argv=None) -> int:
     )
     met_p.add_argument("experiment")
     met_p.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    met_p.add_argument("--workers", type=_workers_arg, metavar="N",
+                       help="campaign worker processes (or 'auto'; default 1)")
     met_p.add_argument("--format", choices=("prometheus", "json"),
                        default="prometheus")
     met_p.add_argument("--output", metavar="FILE",

@@ -60,7 +60,14 @@ class ControlBlock:
 
     # -- configuration ----------------------------------------------------
     def configure(self, configs: List[DetectorConfig]) -> None:
-        self.detectors = {c.detector: c for c in configs}
+        """Install detector configs, taking private copies.
+
+        Configs come from an :class:`InstrumentedKernel` that may be
+        shared between programs (the translator build cache); ranges
+        and alpha installed on *this* control block must never leak
+        into another program's campaign.
+        """
+        self.detectors = {c.detector: copy.deepcopy(c) for c in configs}
 
     def load_ranges(self, ranges: Dict[int, RangeSet]) -> None:
         """Install profiled ranges (the FT entry-of-main load)."""

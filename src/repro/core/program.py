@@ -10,12 +10,13 @@ figure benches talk to.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from dataclasses import astuple, dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.controlblock import ControlBlock
+from repro.exec.cache import ephemeral_cache
 from repro.core.ftlib import HauberkFTLibrary
 from repro.core.profiler import RangeProfiler
 from repro.core.translator import HauberkTranslator, InstrumentedKernel, TranslatorOptions
@@ -33,6 +34,15 @@ from repro.workloads.base import Workload, WorkloadInput
 #: overhead" shared by HAUBERK-NL and HAUBERK-L, Section IX.A).  Small
 #: relative to kernel time — the block is "typically <10KB" (Section IX.A).
 CONTROL_BLOCK_OVERHEAD_CYCLES = 60.0
+
+#: Attribute on the kernel object caching instrumented builds keyed by
+#: (mode, translator options).  Workloads share parsed kernels (see
+#: ``Workload.kernel``), so repeated campaigns over the same
+#: workload+mode — separate program instances included — skip the
+#: translator entirely.  Safe to share because builds are immutable
+#: after translation and the control block deep-copies detector
+#: configs at ``configure`` time.
+BUILD_CACHE_ATTR = "_hauberk_builds"
 
 
 class RunStatus(enum.Enum):
@@ -95,13 +105,22 @@ class HauberkProgram:
         self.builds: Dict[str, InstrumentedKernel] = {}
         self.cb = ControlBlock()
         self._configured = False
+        #: seed -> (input, golden output), fixed across a campaign.
+        self._trial_io: Dict[int, Tuple[WorkloadInput, np.ndarray]] = {}
 
     # -- builds ---------------------------------------------------------
     def build(self, mode: str) -> InstrumentedKernel:
         if mode not in self.builds:
-            self.builds[mode] = self.translator.build(self.workload.kernel, mode)
+            kernel = self.workload.kernel
+            cache = ephemeral_cache(kernel, BUILD_CACHE_ATTR)
+            key = (mode, astuple(self.translator.options))
+            build = cache.get(key)
+            if build is None:
+                build = self.translator.build(kernel, mode)
+                cache[key] = build
+            self.builds[mode] = build
             if mode in ("ft", "fift") and not self._configured:
-                self.cb.configure(self.builds[mode].detector_configs)
+                self.cb.configure(build.detector_configs)
                 self._configured = True
         return self.builds[mode]
 
@@ -198,14 +217,27 @@ class HauberkProgram:
         raise ReproError(f"unknown mode {mode!r}")
 
     # -- campaign integration ------------------------------------------------
+    def campaign_io(self, seed: int = 0) -> Tuple[WorkloadInput, np.ndarray]:
+        """The fixed (input, golden output) pair for campaigns on ``seed``.
+
+        Cached per program so repeated campaigns over the same workload
+        (figure sweeps re-running per fault class / bit count / alpha)
+        pay for input generation and the golden run once.
+        """
+        hit = self._trial_io.get(seed)
+        if hit is None:
+            inp = self.workload.generate_input(seed)
+            hit = (inp, self.workload.golden(inp))
+            self._trial_io[seed] = hit
+        return hit
+
     def trial_runner(self, mode: str, seed: int = 0):
         """A ``Campaign``-compatible runner for FI experiments.
 
         The input (and its golden output) is fixed across the campaign;
         each call runs the whole program once with the given fault.
         """
-        inp = self.workload.generate_input(seed)
-        golden = self.workload.golden(inp)
+        inp, golden = self.campaign_io(seed)
         run_mode = mode
 
         def runner(spec: Optional[FaultSpec]) -> TrialObservation:

@@ -1,0 +1,37 @@
+"""``repro.exec`` — process-level execution utilities.
+
+Two small modules shared by the scale-out layers:
+
+* :mod:`repro.exec.pool` — a fork-based worker pool with warm
+  per-worker initialisation, deterministic order-preserving chunk
+  mapping, and hard-crash surfacing (a dead worker raises instead of
+  hanging the campaign).
+* :mod:`repro.exec.cache` — :class:`EphemeralCache`, a dict that
+  resets itself across ``deepcopy`` and pickling so hot-path caches
+  can live *on* the objects they describe (kernels) without leaking
+  compiled state into clones or child processes.
+
+The SWIFI parallel campaign engine (:mod:`repro.swifi.parallel`) is
+the first consumer; the utilities are deliberately generic so future
+sharded workloads (multi-device sweeps, batched profiling) can reuse
+them.
+"""
+
+from repro.exec.cache import EphemeralCache, ephemeral_cache
+from repro.exec.pool import (
+    ForkPool,
+    chunk_slices,
+    default_chunk_size,
+    fork_available,
+    resolve_workers,
+)
+
+__all__ = [
+    "EphemeralCache",
+    "ephemeral_cache",
+    "ForkPool",
+    "chunk_slices",
+    "default_chunk_size",
+    "fork_available",
+    "resolve_workers",
+]

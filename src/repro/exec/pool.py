@@ -1,0 +1,121 @@
+"""Fork-based worker pool: warm initialisation, ordered chunk mapping.
+
+The pool is built for one pattern: a parent holds a fully-constructed,
+*unpicklable* object graph (a :class:`~repro.core.program.HauberkProgram`
+with compiled kernels and device memory), and wants N worker processes
+that each inherit that graph once, warm their own caches in an
+initializer, and then chew through chunks of small picklable work
+items.  ``fork`` start method only: the initializer arguments are
+inherited through the forked address space, never pickled.  On
+platforms without ``fork`` callers should drop to their serial path
+(see :func:`fork_available`).
+
+Crash semantics: a worker that dies hard (``os._exit``, OOM kill,
+segfault) breaks the pool; :meth:`ForkPool.map_ordered` converts that
+into the caller-supplied exception type instead of hanging.  An
+exception *raised* inside a work function propagates unchanged, the
+same as it would on the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: Union[int, str, None]) -> int:
+    """Normalise a worker-count request to a positive integer.
+
+    ``None``/``0`` mean serial (1); ``"auto"`` means one worker per
+    visible CPU.  Anything else must be a positive integer.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, str):
+        if workers == "auto":
+            return max(1, os.cpu_count() or 1)
+        raise ValueError(f"workers must be an int, None, or 'auto'; got {workers!r}")
+    count = int(workers)
+    if count == 0:
+        return 1
+    if count < 0:
+        raise ValueError(f"workers must be non-negative, got {count}")
+    return count
+
+
+def default_chunk_size(n_items: int, workers: int, chunks_per_worker: int = 4) -> int:
+    """Chunk size giving each worker ~``chunks_per_worker`` chunks.
+
+    Small enough to load-balance uneven trial costs, large enough to
+    amortise the per-chunk pickling round trip.
+    """
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if n_items <= 0:
+        return 1
+    return max(1, -(-n_items // (workers * chunks_per_worker)))
+
+
+def chunk_slices(n_items: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Deterministic ``[start, stop)`` slices covering ``range(n_items)``."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if n_items < 0:
+        raise ValueError(f"n_items must be non-negative, got {n_items}")
+    return [(a, min(a + chunk_size, n_items)) for a in range(0, n_items, chunk_size)]
+
+
+class ForkPool:
+    """Thin, single-use wrapper over a fork-context process pool."""
+
+    def __init__(
+        self,
+        workers: int,
+        initializer: Optional[Callable] = None,
+        initargs: Tuple = (),
+        crash_error: Callable[[str], Exception] = RuntimeError,
+    ):
+        if workers < 1:
+            raise ValueError(f"pool needs at least one worker, got {workers}")
+        if not fork_available():
+            raise RuntimeError("ForkPool requires the 'fork' start method")
+        self.workers = workers
+        self.initializer = initializer
+        self.initargs = initargs
+        self.crash_error = crash_error
+
+    def map_ordered(self, fn: Callable, payloads: Sequence) -> List:
+        """Run ``fn`` over ``payloads``; results in submission order.
+
+        Work is dispatched eagerly so idle workers steal ahead, but the
+        returned list matches ``payloads`` element-for-element.  A
+        worker-process death surfaces as ``crash_error`` on the first
+        affected payload rather than a hang.
+        """
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=ctx,
+            initializer=self.initializer,
+            initargs=self.initargs,
+        ) as pool:
+            futures = [pool.submit(fn, payload) for payload in payloads]
+            results = []
+            for i, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except BrokenProcessPool as exc:
+                    raise self.crash_error(
+                        f"worker process died while running chunk {i} of "
+                        f"{len(payloads)} (see stderr for the worker's "
+                        f"traceback, if any)"
+                    ) from exc
+            return results

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
 from repro.errors import CompileError, KernelCrash, KernelHang, LaunchError
+from repro.exec.cache import ephemeral_cache
 from repro.gpu.costmodel import CostModel
 from repro.gpu.device import Device
 from repro.gpu.memory import Allocation
@@ -30,6 +31,13 @@ Dim = Union[int, Tuple[int, int]]
 
 #: GT200 hardware limit.
 MAX_THREADS_PER_BLOCK = 512
+
+#: Attribute on the kernel object holding its compiled-program cache.
+#: Living on the kernel (instead of a runtime-side ``id()``-keyed dict)
+#: means the cache dies with the kernel — no global registry pinning
+#: kernels alive, and no recycled-``id`` staleness.  The cache resets
+#: across ``Kernel.clone()`` and pickling (see ``repro.exec.cache``).
+PREPARED_CACHE_ATTR = "_hauberk_prepared"
 
 
 def _normalize_dim(dim: Dim, what: str) -> Tuple[int, int]:
@@ -72,25 +80,33 @@ class GPURuntime:
     def __init__(self, device: Optional[Device] = None, costmodel: Optional[CostModel] = None):
         self.device = device if device is not None else Device()
         self.costmodel = costmodel if costmodel is not None else CostModel()
-        self._prepared: Dict[int, tuple] = {}
 
     # -- preparation -----------------------------------------------------
     def prepare(self, kernel: Kernel):
-        """Compile (and resource-check) a kernel; cached per object."""
-        cached = self._prepared.get(id(kernel))
-        if cached is not None and cached[0] is kernel:
-            return cached[1]
+        """Compile (and resource-check) a kernel; cached on the kernel.
+
+        The compiled program depends only on the kernel and the cost
+        model, so the cache lives on the kernel object keyed by cost
+        model (the stored strong reference keeps the key's ``id``
+        stable) and is shared by every runtime using the same model.
+        The device resource check always runs — different runtimes may
+        sit on differently-sized devices.
+        """
         if kernel.shared_mem_words > self.device.spec.shared_mem_words:
             raise CompileError(
                 f"kernel {kernel.name} needs {kernel.shared_mem_words} words of "
                 f"shared memory; device has {self.device.spec.shared_mem_words}"
             )
+        cache = ephemeral_cache(kernel, PREPARED_CACHE_ATTR)
+        hit = cache.get(id(self.costmodel))
+        if hit is not None and hit[0] is self.costmodel:
+            return hit[1]
         if kernel.uses_sync:
             prog = LockstepProgram(kernel, self.costmodel)
         else:
             prog = CompiledKernel(kernel, self.costmodel)
         entry = (prog, register_pressure(kernel))
-        self._prepared[id(kernel)] = (kernel, entry)
+        cache[id(self.costmodel)] = (self.costmodel, entry)
         return entry
 
     # -- launching ---------------------------------------------------------

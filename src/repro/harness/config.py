@@ -39,6 +39,11 @@ class ExperimentScale:
     #: Workload construction overrides per name (bigger = closer to
     #: the paper's loop fractions, slower to simulate).
     workload_kwargs: Dict[str, dict] = field(default_factory=dict)
+    #: Worker processes for campaign trial execution (1 = in-process;
+    #: see ``repro.swifi.parallel``).  The CLI's ``--workers`` and the
+    #: benchmark suite's ``REPRO_BENCH_WORKERS`` override this via
+    #: ``dataclasses.replace``.
+    workers: int = 1
     seed: int = 2011
 
 

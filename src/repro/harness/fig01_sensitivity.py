@@ -24,7 +24,7 @@ from repro.cpusim import (
 )
 from repro.harness.config import BENCH, ExperimentScale
 from repro.harness.reporting import pct, print_table
-from repro.swifi import Campaign, build_fault_specs, enumerate_targets
+from repro.swifi import build_fault_specs, enumerate_targets, run_campaign
 from repro.swifi.outcomes import Outcome
 from repro.workloads import get_workload
 
@@ -64,9 +64,7 @@ def _gpu_rows(
     for name in names:
         wl = get_workload(name, **scale.workload_kwargs.get(name, {}))
         prog = HauberkProgram(wl)
-        inp = wl.generate_input(0)
-        runner = prog.trial_runner("fi")
-        campaign = Campaign(runner)
+        inp, _golden = prog.campaign_io(0)
         for cls in CLASSES:
             sites = enumerate_targets(wl.kernel, classes=[cls])
             if not sites:
@@ -83,7 +81,9 @@ def _gpu_rows(
                 # per process and would break run-to-run reproducibility
                 seed=scale.seed + 101 * CLASSES.index(cls),
             )[:trials_cap_per_class]
-            summary = campaign.run(specs).summary()
+            summary = run_campaign(
+                prog, specs, mode="fi", workers=scale.workers
+            ).summary()
             outcomes = summary["outcomes"]
             t = tallies[cls]
             t[0] += outcomes[Outcome.FAILURE.value]

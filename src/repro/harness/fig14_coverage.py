@@ -17,7 +17,7 @@ from typing import Dict, List, Tuple
 from repro.core.program import HauberkProgram
 from repro.harness.config import BENCH, ExperimentScale
 from repro.harness.reporting import pct, print_table
-from repro.swifi import Campaign, build_fault_specs, select_targets
+from repro.swifi import build_fault_specs, run_campaign, select_targets
 from repro.swifi.outcomes import Outcome, OutcomeCounts
 from repro.workloads import get_workload
 
@@ -60,9 +60,7 @@ def run_fig14(
         # the paper evaluates coverage "when the same input data set is
         # used for training and test runs" (Section IX.B)
         prog.train(seeds=[0])
-        inp = wl.generate_input(0)
-        runner = prog.trial_runner("fift")
-        campaign = Campaign(runner)
+        inp, _golden = prog.campaign_io(0)
         sites = select_targets(wl.kernel, scale.max_targets, rng)
         for bits in scale.bit_counts:
             specs = build_fault_specs(
@@ -72,7 +70,7 @@ def run_fig14(
                 bit_counts=(bits,),
                 seed=scale.seed + bits,
             )
-            cell = campaign.run(specs)
+            cell = run_campaign(prog, specs, mode="fift", workers=scale.workers)
             result.cells[(name, bits)] = cell.counts
             result.summaries[(name, bits)] = cell.summary()
     return result

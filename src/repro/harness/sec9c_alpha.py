@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.program import HauberkProgram
 from repro.harness.config import BENCH, ExperimentScale
 from repro.harness.reporting import pct, print_table
-from repro.swifi import Campaign, FaultSpec, enumerate_targets
+from repro.swifi import FaultSpec, enumerate_targets, run_campaign
 from repro.workloads import get_workload
 
 ALPHAS = (1.0, 1e3, 1e4, 1e5)
@@ -64,11 +64,12 @@ def run_sec9c(
                     label=f"{info.name}#{j}",
                 )
             )
-    campaign = Campaign(prog.trial_runner("fift"))
     result = Sec9cResult()
     for alpha in alphas:
+        # set_alpha_all precedes the campaign, so parallel workers
+        # (forked per campaign) inherit the updated control block
         prog.cb.set_alpha_all(alpha)
-        cell = campaign.run(specs)
+        cell = run_campaign(prog, specs, mode="fift", workers=scale.workers)
         result.coverage[alpha] = cell.counts.coverage
     return result
 

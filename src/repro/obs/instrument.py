@@ -21,6 +21,8 @@ repro_trial_outcomes_total                  counter    outcome
 repro_trial_activation_ratio                gauge      --
 repro_trial_site_faults                     histogram  --
 repro_campaigns_total                       counter    --
+repro_swifi_parallel_workers                gauge      --
+repro_swifi_chunks_total                    counter    --
 repro_guardian_attempts_total               counter    --
 repro_guardian_restarts_total               counter    --
 repro_guardian_hang_kills_total             counter    --
@@ -125,6 +127,18 @@ def record_campaign(result) -> None:
         "repro_trial_activation_ratio",
         "Activated-fault fraction of the last campaign",
     ).set(summary["activation_ratio"])
+
+
+def record_parallel_campaign(workers: int, chunks: int) -> None:
+    """A campaign dispatched to a worker pool (swifi/parallel.py)."""
+    reg = get_registry()
+    reg.gauge(
+        "repro_swifi_parallel_workers",
+        "Worker processes of the last parallel campaign",
+    ).set(workers)
+    reg.counter(
+        "repro_swifi_chunks_total", "Campaign spec chunks dispatched to workers"
+    ).inc(chunks)
 
 
 # -- guardian supervision (core/guardian.py) ----------------------------

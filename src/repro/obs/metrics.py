@@ -145,6 +145,24 @@ class Histogram(Metric):
         state["sum"] += value
         state["count"] += 1
 
+    def _absorb(self, labels: Dict[str, Any], counts: Sequence[int],
+                sum_: float, count: int) -> None:
+        """Add pre-bucketed counts from a snapshot (registry merging)."""
+        if len(counts) != len(self.buckets):
+            raise ValueError(
+                f"histogram {self.name}: snapshot has {len(counts)} buckets, "
+                f"expected {len(self.buckets)}"
+            )
+        key = _labelkey(labels)
+        state = self._samples.get(key)
+        if state is None:
+            state = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+            self._samples[key] = state
+        for i, n in enumerate(counts):
+            state["counts"][i] += n
+        state["sum"] += sum_
+        state["count"] += count
+
     def count(self, **labels: Any) -> int:
         state = self._samples.get(_labelkey(labels))
         return state["count"] if state else 0
@@ -242,6 +260,47 @@ class MetricsRegistry:
 
     def render_json(self, indent: int = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent)
+
+    # -- merging -----------------------------------------------------------
+    def merge_dict(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a JSON snapshot (:meth:`as_dict` output) into this registry.
+
+        The primitive behind per-worker metrics aggregation: campaign
+        workers record into fresh registries, ship ``as_dict()``
+        snapshots back, and the parent merges them in chunk order.
+        Counters and histograms *add*; gauges take the incoming value
+        (last merge wins — deterministic given a deterministic merge
+        order); histogram bucket bounds must match exactly.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            help_text = data.get("help", "")
+            samples = data.get("samples", [])
+            if kind == "counter":
+                counter = self.counter(name, help_text)
+                for sample in samples:
+                    counter.inc(sample["value"], **sample["labels"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, help_text)
+                for sample in samples:
+                    gauge.set(sample["value"], **sample["labels"])
+            elif kind == "histogram":
+                for sample in samples:
+                    bounds = tuple(float(b) for b in sample["buckets"])
+                    histogram = self.histogram(name, help_text, buckets=bounds)
+                    if histogram.buckets != bounds:
+                        raise ValueError(
+                            f"histogram {name!r} bucket mismatch: have "
+                            f"{histogram.buckets}, snapshot has {bounds}"
+                        )
+                    histogram._absorb(
+                        sample["labels"],
+                        list(sample["buckets"].values()),
+                        sample["sum"],
+                        sample["count"],
+                    )
+            else:
+                raise ValueError(f"cannot merge metric {name!r} of kind {kind!r}")
 
 
 _default_registry = MetricsRegistry()

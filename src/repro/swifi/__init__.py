@@ -18,6 +18,7 @@ from repro.swifi.campaign import (
     TrialResult,
     build_fault_specs,
 )
+from repro.swifi.parallel import run_campaign
 
 __all__ = [
     "FaultSpec",
@@ -33,4 +34,5 @@ __all__ = [
     "CampaignResult",
     "TrialResult",
     "build_fault_specs",
+    "run_campaign",
 ]

@@ -88,6 +88,27 @@ class CampaignResult:
         return self.filter(lambda t: t.spec.n_bits == n_bits)
 
 
+def absorb_trial(
+    result: CampaignResult, spec: FaultSpec, obs: TrialObservation, tracer
+) -> Outcome:
+    """Classify, tally, and record one trial observation.
+
+    The single place a trial enters a :class:`CampaignResult` — the
+    serial :meth:`Campaign.run` loop and the parallel merge in
+    :mod:`repro.swifi.parallel` both go through it, which is what makes
+    the two paths bit-identical (same classification, same metric
+    increments, same ``swifi.trial`` event stream, same order).
+    """
+    outcome = classify_outcome(obs.failure, obs.detected, obs.output_ok)
+    result.add(TrialResult(spec=spec, outcome=outcome, observation=obs))
+    record_trial(outcome, spec)
+    tracer.event(
+        "swifi.trial", site=spec.site, label=spec.label,
+        outcome=outcome.value, activated=obs.activated,
+    )
+    return outcome
+
+
 class Campaign:
     """Drives single-fault trials through a runner callable.
 
@@ -115,13 +136,7 @@ class Campaign:
         with tracer.span("swifi.campaign") as span:
             for spec in specs:
                 obs = self.runner(spec)
-                outcome = classify_outcome(obs.failure, obs.detected, obs.output_ok)
-                result.add(TrialResult(spec=spec, outcome=outcome, observation=obs))
-                record_trial(outcome, spec)
-                tracer.event(
-                    "swifi.trial", site=spec.site, label=spec.label,
-                    outcome=outcome.value, activated=obs.activated,
-                )
+                absorb_trial(result, spec, obs, tracer)
             record_campaign(result)
             span.set(**result.summary())
         return result

@@ -1,0 +1,233 @@
+"""Parallel campaign execution: shard trials across warm worker processes.
+
+The paper's measurement apparatus runs ~10,000 single-fault experiments
+per application (Section VIII); every trial is an independent program
+execution, which makes campaigns embarrassingly parallel.  This module
+shards a campaign's :class:`~repro.swifi.faultmodel.FaultSpec` list
+into chunks over a ``fork``-based worker pool:
+
+* **Warm per-worker caches** — each worker process inherits the
+  parent's :class:`~repro.core.program.HauberkProgram` through ``fork``
+  and is warm-started exactly once by the pool initializer: the
+  instrumented build, the compiled kernel, the fixed campaign input,
+  and the golden output are all constructed (or cache-hit) before the
+  first trial, then reused for every chunk the worker executes.
+* **Deterministic merge** — workers return serialized per-trial
+  observations plus their local :class:`~repro.swifi.outcomes.OutcomeCounts`,
+  metrics snapshot, and captured trace records; the parent replays the
+  observations *in original spec order* through the same
+  :func:`~repro.swifi.campaign.absorb_trial` helper the serial loop
+  uses.  ``CampaignResult`` (trial order, tallies, ``summary()``) is
+  therefore bit-identical for any worker count.
+* **Crash surfacing** — a worker that dies hard raises
+  :class:`~repro.errors.InjectionError` on the parent instead of
+  hanging the campaign; exceptions raised *inside* a trial propagate
+  unchanged, exactly like the serial path.
+
+``workers=1`` (or a platform without ``fork``) short-circuits to the
+existing in-process :class:`~repro.swifi.campaign.Campaign` path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.errors import InjectionError
+from repro.exec.pool import (
+    ForkPool,
+    chunk_slices,
+    default_chunk_size,
+    fork_available,
+    resolve_workers,
+)
+from repro.obs.events import RingBufferSink, Tracer, get_tracer, set_tracer, use_tracer
+from repro.obs.instrument import record_campaign, record_parallel_campaign
+from repro.obs.metrics import fresh_registry, get_registry
+from repro.swifi.campaign import (
+    Campaign,
+    CampaignResult,
+    TrialObservation,
+    absorb_trial,
+)
+from repro.swifi.faultmodel import FaultSpec
+from repro.swifi.outcomes import Outcome, OutcomeCounts, classify_outcome
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.core.program
+    from repro.core.program import HauberkProgram
+
+#: Ring capacity for per-chunk worker trace capture (only allocated
+#: when the parent tracer is enabled).
+WORKER_TRACE_CAPACITY = 8192
+
+
+@dataclass
+class ChunkResult:
+    """Everything one worker ships back for one chunk of specs."""
+
+    index: int
+    observations: List[TrialObservation]
+    #: Outcome values the worker classified (parent re-derives its own;
+    #: kept for chunk-span attribution and cross-checking).
+    outcomes: List[str]
+    counts: OutcomeCounts
+    #: ``MetricsRegistry.as_dict()`` snapshot of the worker-side metrics
+    #: recorded while running this chunk (kernel launches, failures).
+    metrics: Dict[str, Any]
+    #: Raw span/event records captured in the worker (empty unless the
+    #: parent tracer was enabled when the pool was created).
+    trace_records: List[Dict[str, Any]] = field(default_factory=list)
+    worker_pid: int = 0
+
+
+@dataclass
+class _WorkerState:
+    runner: Callable[[Optional[FaultSpec]], TrialObservation]
+    capture_trace: bool
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(program, mode, seed, runner_factory, capture_trace) -> None:
+    """Pool initializer: warm this worker's caches exactly once.
+
+    Runs in the child right after ``fork``.  The inherited tracer is
+    detached first so workers never write into the parent's trace sink
+    (a shared open file under ``--trace``); metrics start from a fresh
+    registry so the parent can merge clean per-worker snapshots.
+    """
+    global _STATE
+    set_tracer(None)
+    fresh_registry()
+    if runner_factory is not None:
+        runner = runner_factory()
+    else:
+        build = program.build(mode)
+        program.runtime.prepare(build.kernel)
+        runner = program.trial_runner(mode, seed)
+    _STATE = _WorkerState(runner=runner, capture_trace=capture_trace)
+
+
+def _run_chunk(payload) -> ChunkResult:
+    """Execute one chunk of specs against this worker's warm runner."""
+    index, specs = payload
+    state = _STATE
+    if state is None:
+        raise InjectionError("campaign worker used before initialization")
+    registry = fresh_registry()
+    observations: List[TrialObservation] = []
+    outcomes: List[str] = []
+    counts = OutcomeCounts()
+
+    def execute() -> None:
+        for spec in specs:
+            obs = state.runner(spec)
+            outcome = classify_outcome(obs.failure, obs.detected, obs.output_ok)
+            counts.add(outcome)
+            observations.append(obs)
+            outcomes.append(outcome.value)
+
+    trace_records: List[Dict[str, Any]] = []
+    if state.capture_trace:
+        sink = RingBufferSink(capacity=WORKER_TRACE_CAPACITY)
+        with use_tracer(Tracer(sink)):
+            execute()
+        trace_records = sink.records
+    else:
+        execute()
+    return ChunkResult(
+        index=index,
+        observations=observations,
+        outcomes=outcomes,
+        counts=counts,
+        metrics=registry.as_dict(),
+        trace_records=trace_records,
+        worker_pid=os.getpid(),
+    )
+
+
+def run_campaign(
+    program: Optional["HauberkProgram"],
+    specs: Iterable[FaultSpec],
+    mode: str = "fi",
+    *,
+    workers: int = 1,
+    seed: int = 0,
+    chunk_size: Optional[int] = None,
+    runner_factory: Optional[Callable[[], Callable]] = None,
+) -> CampaignResult:
+    """Run one FI campaign over ``specs``, optionally across processes.
+
+    The shared entry point for every campaign-driven harness.  With
+    ``workers <= 1`` this is exactly ``Campaign(program.trial_runner(
+    mode, seed)).run(specs)``; with more workers the specs are chunked
+    across a fork pool and merged deterministically, so the returned
+    :class:`CampaignResult` is identical for any worker count.
+
+    ``runner_factory`` overrides ``program.trial_runner`` (used by
+    tests to exercise the pool without a full program; the factory is
+    called once per worker, inside the worker).
+    """
+    spec_list = list(specs)
+    n_workers = resolve_workers(workers)
+    n_workers = min(n_workers, max(1, len(spec_list)))
+    if n_workers <= 1 or not fork_available():
+        runner = runner_factory() if runner_factory is not None else \
+            program.trial_runner(mode, seed)
+        return Campaign(runner).run(spec_list)
+
+    if runner_factory is None:
+        # Warm the parent before forking: the translated build, the
+        # compiled kernel, and the campaign input/golden are inherited
+        # by every worker, so per-worker init is a cache hit and the
+        # translator/golden metrics are recorded once, parent-side.
+        build = program.build(mode)
+        program.runtime.prepare(build.kernel)
+        program.trial_runner(mode, seed)
+
+    tracer = get_tracer()
+    size = chunk_size if chunk_size is not None else \
+        default_chunk_size(len(spec_list), n_workers)
+    slices = chunk_slices(len(spec_list), size)
+    record_parallel_campaign(n_workers, len(slices))
+
+    pool = ForkPool(
+        n_workers,
+        initializer=_init_worker,
+        initargs=(program, mode, seed, runner_factory, tracer.enabled),
+        crash_error=InjectionError,
+    )
+    payloads = [(i, spec_list[a:b]) for i, (a, b) in enumerate(slices)]
+
+    result = CampaignResult()
+    with tracer.span(
+        "swifi.campaign", workers=n_workers, chunks=len(slices),
+        chunk_size=size, planned_trials=len(spec_list),
+    ) as span:
+        chunk_results = pool.map_ordered(_run_chunk, payloads)
+        registry = get_registry()
+        for (a, b), chunk in zip(slices, chunk_results):
+            if len(chunk.observations) != b - a:
+                raise InjectionError(
+                    f"chunk {chunk.index} returned {len(chunk.observations)} "
+                    f"trials, expected {b - a}"
+                )
+            with tracer.span(
+                "swifi.chunk", chunk=chunk.index, start=a, size=b - a,
+                worker_pid=chunk.worker_pid,
+            ) as cspan:
+                for spec, obs in zip(spec_list[a:b], chunk.observations):
+                    absorb_trial(result, spec, obs, tracer)
+                registry.merge_dict(chunk.metrics)
+                for record in chunk.trace_records:
+                    tracer.event(
+                        "swifi.worker.trace", chunk=chunk.index, record=record
+                    )
+                cspan.set(
+                    outcomes={o.value: chunk.counts.counts[o] for o in Outcome}
+                )
+        record_campaign(result)
+        span.set(**result.summary())
+    return result

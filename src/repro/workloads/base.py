@@ -73,6 +73,11 @@ class WorkloadInput:
         raise WorkloadError(f"no buffer named {name!r}")
 
 
+#: Process-wide parse cache: kernel source text -> validated Kernel.
+#: Bounded by the number of distinct workload sources in the process.
+_PARSE_CACHE: Dict[str, Kernel] = {}
+
+
 class Workload:
     """Base class for benchmark programs."""
 
@@ -94,10 +99,24 @@ class Workload:
     # -- kernel -----------------------------------------------------------
     @property
     def kernel(self) -> Kernel:
+        """The parsed (and validated) kernel, shared across instances.
+
+        Kernel sources are class attributes, so every instance of a
+        workload gets the *same* parsed kernel object from a process
+        cache keyed by source text.  Sharing is what makes the
+        translation and compiled-program caches (which live on the
+        kernel object) hit across program instances; every pass that
+        transforms a kernel clones it first, so the shared original
+        stays pristine.
+        """
         if self._kernel is None:
             if not self.source:
                 raise WorkloadError(f"workload {self.name} has no kernel source")
-            self._kernel = parse_kernel(self.source)
+            cached = _PARSE_CACHE.get(self.source)
+            if cached is None:
+                cached = parse_kernel(self.source)
+                _PARSE_CACHE[self.source] = cached
+            self._kernel = cached
         return self._kernel
 
     # -- to be provided by subclasses ----------------------------------------

@@ -11,6 +11,21 @@ from repro.kir.parser import parse_kernel
 from repro.kir.types import DType
 
 
+@pytest.fixture(autouse=True)
+def _isolate_shared_kernel_caches():
+    """Drop the process-wide parsed-kernel cache after every test.
+
+    Workload kernels are shared by source text, and translated builds /
+    compiled programs are cached on the kernel objects — great for
+    campaigns, but across *tests* it would make metrics and translator
+    behavior depend on execution order.
+    """
+    yield
+    from repro.workloads.base import _PARSE_CACHE
+
+    _PARSE_CACHE.clear()
+
+
 @pytest.fixture
 def device():
     return Device()

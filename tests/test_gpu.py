@@ -176,6 +176,36 @@ class TestRuntime:
         p2 = runtime.prepare(saxpy_kernel)
         assert p1 is p2
 
+    def test_prepared_cache_does_not_pin_kernel(self, runtime):
+        # regression: the cache used to be a never-evicted id()-keyed
+        # dict on the runtime, keeping every prepared kernel alive
+        import gc
+        import weakref
+
+        kernel = parse_kernel("kernel k(int n) { int x = n * 2; }")
+        runtime.prepare(kernel)
+        ref = weakref.ref(kernel)
+        del kernel
+        gc.collect()
+        assert ref() is None
+
+    def test_prepared_cache_resets_on_clone(self, runtime, saxpy_kernel):
+        from repro.gpu.runtime import PREPARED_CACHE_ATTR
+
+        runtime.prepare(saxpy_kernel)
+        assert getattr(saxpy_kernel, PREPARED_CACHE_ATTR)
+        clone = saxpy_kernel.clone()
+        assert not getattr(clone, PREPARED_CACHE_ATTR, {})
+        assert runtime.prepare(clone) is not runtime.prepare(saxpy_kernel)
+
+    def test_prepared_cache_keyed_by_costmodel(self, saxpy_kernel):
+        shared = CostModel()
+        r1 = GPURuntime(Device(), costmodel=shared)
+        r2 = GPURuntime(Device(), costmodel=shared)
+        r3 = GPURuntime(Device(), costmodel=CostModel())
+        assert r1.prepare(saxpy_kernel) is r2.prepare(saxpy_kernel)
+        assert r3.prepare(saxpy_kernel) is not r1.prepare(saxpy_kernel)
+
     def test_disabled_device_rejects_launch(self, saxpy_kernel):
         device = Device()
         device.enabled = False
