@@ -39,13 +39,15 @@ def _workers_arg(value: str):
 
 
 def _resolve_scale(args):
-    """The preset named by --scale, with --workers folded in."""
+    """The preset named by --scale, with --workers/--no-differential folded in."""
     scale = _SCALES[args.scale]
     workers = getattr(args, "workers", None)
     if workers is not None:
         from repro.exec import resolve_workers
 
         scale = dataclasses.replace(scale, workers=resolve_workers(workers))
+    if getattr(args, "no_differential", False):
+        scale = dataclasses.replace(scale, differential=False)
     return scale
 
 
@@ -232,6 +234,9 @@ def main(argv=None) -> int:
     run_p.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
     run_p.add_argument("--workers", type=_workers_arg, metavar="N",
                        help="campaign worker processes (or 'auto'; default 1)")
+    run_p.add_argument("--no-differential", action="store_true",
+                       help="run every campaign trial as a full grid "
+                            "execution instead of differential replay")
     run_p.add_argument("--trace", metavar="FILE",
                        help="write a JSON-lines span/event trace to FILE")
     run_p.add_argument("--json-dir", metavar="DIR",
@@ -245,6 +250,9 @@ def main(argv=None) -> int:
     met_p.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
     met_p.add_argument("--workers", type=_workers_arg, metavar="N",
                        help="campaign worker processes (or 'auto'; default 1)")
+    met_p.add_argument("--no-differential", action="store_true",
+                       help="run every campaign trial as a full grid "
+                            "execution instead of differential replay")
     met_p.add_argument("--format", choices=("prometheus", "json"),
                        default="prometheus")
     met_p.add_argument("--output", metavar="FILE",

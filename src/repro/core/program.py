@@ -27,7 +27,7 @@ from repro.kir.interp.evalcore import InstrumentationLibrary
 from repro.swifi.campaign import TrialObservation
 from repro.swifi.faultmodel import FaultSpec
 from repro.swifi.injector import FaultInjectionLibrary
-from repro.workloads.base import Workload, WorkloadInput
+from repro.workloads.base import GoldenRecord, Workload, WorkloadInput
 
 #: Extra kernel-time cycles charged to any detector-carrying build for
 #: shipping the control block CPU->GPU->CPU (the "common performance
@@ -105,8 +105,8 @@ class HauberkProgram:
         self.builds: Dict[str, InstrumentedKernel] = {}
         self.cb = ControlBlock()
         self._configured = False
-        #: seed -> (input, golden output), fixed across a campaign.
-        self._trial_io: Dict[int, Tuple[WorkloadInput, np.ndarray]] = {}
+        #: seed -> golden campaign state, fixed across a campaign.
+        self._trial_io: Dict[int, GoldenRecord] = {}
 
     # -- builds ---------------------------------------------------------
     def build(self, mode: str) -> InstrumentedKernel:
@@ -217,19 +217,26 @@ class HauberkProgram:
         raise ReproError(f"unknown mode {mode!r}")
 
     # -- campaign integration ------------------------------------------------
-    def campaign_io(self, seed: int = 0) -> Tuple[WorkloadInput, np.ndarray]:
-        """The fixed (input, golden output) pair for campaigns on ``seed``.
+    def golden_record(self, seed: int = 0) -> GoldenRecord:
+        """The per-seed golden campaign state (input, golden, exec caches).
 
         Cached per program so repeated campaigns over the same workload
         (figure sweeps re-running per fault class / bit count / alpha)
-        pay for input generation and the golden run once.
+        pay for input generation and the golden run once.  The record
+        also carries the differential engines memoized for this seed
+        (see :mod:`repro.swifi.differential`).
         """
-        hit = self._trial_io.get(seed)
-        if hit is None:
+        record = self._trial_io.get(seed)
+        if record is None:
             inp = self.workload.generate_input(seed)
-            hit = (inp, self.workload.golden(inp))
-            self._trial_io[seed] = hit
-        return hit
+            record = GoldenRecord(inp=inp, golden=self.workload.golden(inp))
+            self._trial_io[seed] = record
+        return record
+
+    def campaign_io(self, seed: int = 0) -> Tuple[WorkloadInput, np.ndarray]:
+        """The fixed (input, golden output) pair for campaigns on ``seed``."""
+        record = self.golden_record(seed)
+        return record.inp, record.golden
 
     def trial_runner(self, mode: str, seed: int = 0):
         """A ``Campaign``-compatible runner for FI experiments.

@@ -16,8 +16,8 @@ values round through binary32 — matching data stored in real GDDR.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -154,3 +154,212 @@ class GlobalMemory:
     @property
     def used_words(self) -> int:
         return self._brk
+
+    # -- whole-state snapshots (differential trial execution) ------------
+    def snapshot(self) -> List[int]:
+        """Raw bits of every allocated word (golden-state checkpoint)."""
+        return self.words[: self._brk]
+
+    def restore(self, words: List[int]) -> None:
+        """Overwrite allocated words with a prior :meth:`snapshot`.
+
+        The allocation table must already match the snapshot's layout
+        (callers re-run the same deterministic ``setup_memory`` first).
+        """
+        if len(words) != self._brk:
+            raise GPUError(
+                f"snapshot of {len(words)} words does not match "
+                f"{self._brk} allocated words"
+            )
+        self.words[: self._brk] = words
+
+
+# ---------------------------------------------------------------------------
+# footprint recording + guarded replay (differential trial execution)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ThreadFootprint:
+    """Global-memory accesses of one thread during a golden run.
+
+    ``stores`` keeps program order and raw bit patterns, so undoing a
+    thread (reverse replay of ``(addr, old, new)``) and re-applying it
+    (forward replay of ``new``) are both exact.
+    """
+
+    loads: Set[int] = field(default_factory=set)
+    stores: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def store_addrs(self) -> Set[int]:
+        return {addr for addr, _old, _new in self.stores}
+
+
+class FootprintRecordingMemory:
+    """Memory view that logs every typed access into a footprint.
+
+    Compiled closures fetch ``ctx.memory`` dynamically on each access,
+    so swapping this wrapper in for one launch records footprints with
+    zero cost on the normal (unwrapped) path — the same enable/disable
+    idiom as the obs layer.
+    """
+
+    __slots__ = ("mem", "fp")
+
+    def __init__(self, mem: GlobalMemory):
+        self.mem = mem
+        self.fp = ThreadFootprint()
+
+    def begin_thread(self) -> ThreadFootprint:
+        """Start a fresh footprint; returns the one just finished."""
+        done = self.fp
+        self.fp = ThreadFootprint()
+        return done
+
+    def load_f32(self, addr: int) -> float:
+        value = self.mem.load_f32(addr)
+        self.fp.loads.add(addr)
+        return value
+
+    def load_i32(self, addr: int) -> int:
+        value = self.mem.load_i32(addr)
+        self.fp.loads.add(addr)
+        return value
+
+    def store_f32(self, addr: int, value: float) -> None:
+        mem = self.mem
+        if not 0 <= addr < mem.capacity:
+            mem.store_f32(addr, value)  # raises DeviceMemoryError
+        old = mem.words[addr]
+        mem.store_f32(addr, value)
+        self.fp.stores.append((addr, old, mem.words[addr]))
+
+    def store_i32(self, addr: int, value: int) -> None:
+        mem = self.mem
+        if not 0 <= addr < mem.capacity:
+            mem.store_i32(addr, value)  # raises DeviceMemoryError
+        old = mem.words[addr]
+        mem.store_i32(addr, value)
+        self.fp.stores.append((addr, old, mem.words[addr]))
+
+
+class ReplayConflict(Exception):
+    """A replayed thread touched another thread's footprint.
+
+    Raised by :class:`ReplayMemoryGuard` when a faulted thread's access
+    pattern diverges into memory owned by a different thread (pointer
+    faults redirect loads/stores); the differential engine catches it
+    and falls back to full execution for that one trial.  Deliberately
+    *not* a :class:`~repro.errors.KernelCrash`: it must not be mistaken
+    for a program failure.
+    """
+
+
+class ReplayMemoryGuard:
+    """Memory view for single-thread replay with conflict detection.
+
+    The simulated grid executes threads sequentially in gtid order, so
+    program order totally orders cross-thread memory effects.  Replay of
+    thread ``T`` runs against golden-final memory with ``T``'s own
+    stores undone; the guard exploits the ordering to admit accesses a
+    naive "never touch a foreign footprint" rule would reject:
+
+    * **Loads** — an address stored by an *earlier* thread holds its
+      golden value in both worlds (earlier threads are never faulted in
+      ``T``'s trial), so only loads of addresses owned by a *later*
+      thread conflict (memory holds that thread's future value here,
+      but the pre-launch value in the real trial).
+    * **Stores** — a store to an address owned by a later thread
+      conflicts (the later thread's read-then-write could observe it);
+      a store whose golden readers are all at-or-before ``T`` is
+      invisible to everyone else; a store read by a *later* thread is
+      admitted provisionally and checked at the end of the replay: if
+      the final bits equal the golden bits (masked fault), later
+      readers observe nothing and the trial is still exact —
+      :meth:`deferred_mismatch` reports the verdict.
+
+    ``store_owner`` maps each golden-stored address to its storing
+    thread; ``load_readers`` maps each golden-loaded address to its
+    *latest* reading thread.  Every store is journaled so
+    :meth:`rollback` restores the pre-replay memory exactly.
+    """
+
+    __slots__ = (
+        "mem", "thread", "store_owner", "load_readers", "undo", "deferred",
+        "_dirty",
+    )
+
+    def __init__(
+        self,
+        mem: GlobalMemory,
+        thread: int,
+        store_owner: Dict[int, int],
+        load_readers: Dict[int, int],
+    ):
+        self.mem = mem
+        self.thread = thread
+        self.store_owner = store_owner
+        self.load_readers = load_readers
+        self.undo: List[Tuple[int, int]] = []
+        #: Stored addresses whose golden readers include a later thread.
+        self.deferred: Set[int] = set()
+        self._dirty: Set[int] = set()
+
+    def load_f32(self, addr: int) -> float:
+        owner = self.store_owner.get(addr)
+        if owner is not None and owner > self.thread:
+            raise ReplayConflict(f"load of address {addr} stored by thread {owner}")
+        return self.mem.load_f32(addr)
+
+    def load_i32(self, addr: int) -> int:
+        owner = self.store_owner.get(addr)
+        if owner is not None and owner > self.thread:
+            raise ReplayConflict(f"load of address {addr} stored by thread {owner}")
+        return self.mem.load_i32(addr)
+
+    def _check_store(self, addr: int) -> None:
+        owner = self.store_owner.get(addr)
+        if owner is not None and owner > self.thread:
+            raise ReplayConflict(f"store to address {addr} stored by thread {owner}")
+        reader = self.load_readers.get(addr)
+        if reader is not None and reader > self.thread:
+            self.deferred.add(addr)
+
+    def store_f32(self, addr: int, value: float) -> None:
+        self._check_store(addr)
+        mem = self.mem
+        if addr not in self._dirty and 0 <= addr < mem.capacity:
+            self._dirty.add(addr)
+            self.undo.append((addr, mem.words[addr]))
+        mem.store_f32(addr, value)
+
+    def store_i32(self, addr: int, value: int) -> None:
+        self._check_store(addr)
+        mem = self.mem
+        if addr not in self._dirty and 0 <= addr < mem.capacity:
+            self._dirty.add(addr)
+            self.undo.append((addr, mem.words[addr]))
+        mem.store_i32(addr, value)
+
+    def deferred_mismatch(self, golden_words: List[int]) -> bool:
+        """Whether any later-read stored address ended up non-golden.
+
+        Called once after a replay completes; ``True`` means a later
+        thread would have observed a changed value and the trial must
+        fall back to full execution.
+        """
+        words = self.mem.words
+        limit = len(golden_words)
+        for addr in self.deferred:
+            if addr >= limit or words[addr] != golden_words[addr]:
+                return True
+        return False
+
+    def rollback(self) -> None:
+        """Reverse every store this guard let through."""
+        words = self.mem.words
+        for addr, old in reversed(self.undo):
+            words[addr] = old
+        self.undo.clear()
+        self._dirty.clear()

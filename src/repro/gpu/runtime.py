@@ -98,9 +98,14 @@ class GPURuntime:
                 f"shared memory; device has {self.device.spec.shared_mem_words}"
             )
         cache = ephemeral_cache(kernel, PREPARED_CACHE_ATTR)
-        hit = cache.get(id(self.costmodel))
-        if hit is not None and hit[0] is self.costmodel:
-            return hit[1]
+        key = id(self.costmodel)
+        hit = cache.get(key)
+        if hit is not None:
+            if hit[0] is self.costmodel:
+                return hit[1]
+            # a dead cost model's id was recycled by this one: drop the
+            # stale entry so it cannot shadow the rebuilt one below
+            del cache[key]
         if kernel.uses_sync:
             prog = LockstepProgram(kernel, self.costmodel)
         else:
@@ -118,6 +123,7 @@ class GPURuntime:
         args: Dict[str, object],
         lib: Optional[InstrumentationLibrary] = None,
         budget: int = 2_000_000,
+        recorder=None,
     ) -> LaunchResult:
         """Run the kernel over the whole grid.
 
@@ -126,6 +132,12 @@ class GPURuntime:
         Raises :class:`~repro.errors.KernelCrash` /
         :class:`~repro.errors.KernelHang` on failure — the GPU-runtime
         detected failures of the paper's outcome taxonomy.
+
+        ``recorder`` (closure-path kernels only) observes per-thread
+        execution: ``attach(memory)`` returns the memory view threads
+        run against, and ``begin_thread(ctx)`` / ``end_thread(ctx)``
+        bracket each thread.  The normal path pays nothing — the hooks
+        are per-thread branches, and memory stays unwrapped.
         """
         if not self.device.enabled:
             raise LaunchError(f"device {self.device.device_id} is disabled")
@@ -135,6 +147,11 @@ class GPURuntime:
             raise LaunchError(
                 f"block of {bx * by} threads exceeds limit {MAX_THREADS_PER_BLOCK}"
             )
+        if recorder is not None and kernel.uses_sync:
+            raise LaunchError(
+                f"kernel {kernel.name} uses __syncthreads; per-thread "
+                "recording needs the closure path"
+            )
         prog, pressure = self.prepare(kernel)
         base_frame = self._lower_args(kernel, args)
         base_frame["gridDim.x"] = gx
@@ -143,6 +160,8 @@ class GPURuntime:
         base_frame["blockDim.y"] = by
 
         ctx = ExecContext(self.device.memory, lib=lib, budget=budget)
+        if recorder is not None:
+            ctx.swap_memory(recorder.attach(self.device.memory))
         n_threads = gx * gy * bx * by
         shared_decls = kernel.shared
         with get_tracer().span(
@@ -151,7 +170,7 @@ class GPURuntime:
         ) as span:
             try:
                 self._run_grid(kernel, prog, ctx, base_frame, gx, gy, bx, by,
-                               shared_decls)
+                               shared_decls, recorder)
             except KernelHang as exc:
                 record_launch_failure(kernel.name, "hang")
                 span.set(failure="hang", reason=str(exc))
@@ -187,36 +206,58 @@ class GPURuntime:
         return result
 
     def _run_grid(self, kernel, prog, ctx, base_frame, gx, gy, bx, by,
-                  shared_decls) -> None:
-        """Execute every thread of the grid (the measured inner loop)."""
+                  shared_decls, recorder=None) -> None:
+        """Execute every thread of the grid (the measured inner loop).
+
+        The per-thread frame is built from a per-block template so only
+        the two ``threadIdx`` keys are written in the inner loop; a
+        kernel with no shared declarations reuses one empty dict for
+        every block (nothing can write it — ``SharedStore`` compiles
+        only against declared arrays).
+        """
+        no_shared = {} if not shared_decls else None
+        uses_sync = kernel.uses_sync
+        run_thread = None if uses_sync else prog.run_thread
         for block_y in range(gy):
             for block_x in range(gx):
-                ctx.block = block_y * gx + block_x
-                ctx.shared = {
+                block = block_y * gx + block_x
+                ctx.block = block
+                ctx.shared = no_shared if no_shared is not None else {
                     s.name: ([0.0] * s.size if s.dtype is DType.FLOAT32 else [0] * s.size)
                     for s in shared_decls
                 }
-                if kernel.uses_sync:
+                block_frame = dict(base_frame)
+                block_frame["blockIdx.x"] = block_x
+                block_frame["blockIdx.y"] = block_y
+                if uses_sync:
                     frames = []
                     for ty in range(by):
                         for tx in range(bx):
-                            fr = dict(base_frame)
-                            fr["blockIdx.x"] = block_x
-                            fr["blockIdx.y"] = block_y
+                            fr = dict(block_frame)
                             fr["threadIdx.x"] = tx
                             fr["threadIdx.y"] = ty
                             frames.append(fr)
                     prog.run_block(frames, ctx)
-                else:
+                elif recorder is None:
                     for ty in range(by):
+                        row = ty * bx
                         for tx in range(bx):
-                            fr = dict(base_frame)
-                            fr["blockIdx.x"] = block_x
-                            fr["blockIdx.y"] = block_y
+                            fr = dict(block_frame)
                             fr["threadIdx.x"] = tx
                             fr["threadIdx.y"] = ty
-                            ctx.reset_thread(ctx.block, ty * bx + tx)
-                            prog.run_thread(fr, ctx)
+                            ctx.reset_thread(block, row + tx)
+                            run_thread(fr, ctx)
+                else:
+                    for ty in range(by):
+                        row = ty * bx
+                        for tx in range(bx):
+                            fr = dict(block_frame)
+                            fr["threadIdx.x"] = tx
+                            fr["threadIdx.y"] = ty
+                            ctx.reset_thread(block, row + tx)
+                            recorder.begin_thread(ctx)
+                            run_thread(fr, ctx)
+                            recorder.end_thread(ctx)
 
     @staticmethod
     def _lower_args(kernel: Kernel, args: Dict[str, object]) -> Dict[str, object]:

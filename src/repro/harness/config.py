@@ -44,6 +44,10 @@ class ExperimentScale:
     #: benchmark suite's ``REPRO_BENCH_WORKERS`` override this via
     #: ``dataclasses.replace``.
     workers: int = 1
+    #: Serve campaign trials via golden-run memoization + single-thread
+    #: replay where sound (``repro.swifi.differential``); results are
+    #: identical either way.  The CLI's ``--no-differential`` clears it.
+    differential: bool = True
     seed: int = 2011
 
 

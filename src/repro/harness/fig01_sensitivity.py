@@ -82,7 +82,8 @@ def _gpu_rows(
                 seed=scale.seed + 101 * CLASSES.index(cls),
             )[:trials_cap_per_class]
             summary = run_campaign(
-                prog, specs, mode="fi", workers=scale.workers
+                prog, specs, mode="fi", workers=scale.workers,
+                differential=scale.differential,
             ).summary()
             outcomes = summary["outcomes"]
             t = tallies[cls]

@@ -70,7 +70,8 @@ def run_fig14(
                 bit_counts=(bits,),
                 seed=scale.seed + bits,
             )
-            cell = run_campaign(prog, specs, mode="fift", workers=scale.workers)
+            cell = run_campaign(prog, specs, mode="fift", workers=scale.workers,
+                                differential=scale.differential)
             result.cells[(name, bits)] = cell.counts
             result.summaries[(name, bits)] = cell.summary()
     return result

@@ -506,6 +506,17 @@ class CompiledKernel:
         except ReturnSignal:
             pass
 
+    def run_thread_at(self, frame: dict, ctx: ExecContext, block: int,
+                      thread: int) -> None:
+        """Position ``ctx`` on (block, thread-in-block) and run the thread.
+
+        Replay entry point: one faulted thread re-executed in isolation
+        gets the same ``ctx.block``/``ctx.thread`` it had in the full
+        grid, so FI gtid targeting and crash attribution are identical.
+        """
+        ctx.reset_thread(block, thread)
+        self.run_thread(frame, ctx)
+
 
 def compile_kernel(kernel: Kernel, costmodel=None) -> CompiledKernel:
     """Compile a validated kernel; uses the default GPU cost model."""

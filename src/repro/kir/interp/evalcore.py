@@ -297,3 +297,15 @@ class ExecContext:
         self.steps = 0
         self.thread = thread
         self.block = block
+
+    def swap_memory(self, memory):
+        """Install a different device-memory view; returns the old one.
+
+        Compiled closures fetch ``ctx.memory`` on every access, so this
+        is how recording/guarded wrappers (footprint capture, the
+        differential replay guard) slot in for one launch or one
+        replayed thread without touching the zero-cost normal path.
+        """
+        previous = self.memory
+        self.memory = memory
+        return previous

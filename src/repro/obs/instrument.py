@@ -23,6 +23,8 @@ repro_trial_site_faults                     histogram  --
 repro_campaigns_total                       counter    --
 repro_swifi_parallel_workers                gauge      --
 repro_swifi_chunks_total                    counter    --
+repro_swifi_diff_hits_total                 counter    --
+repro_swifi_diff_fallbacks_total            counter    reason
 repro_guardian_attempts_total               counter    --
 repro_guardian_restarts_total               counter    --
 repro_guardian_hang_kills_total             counter    --
@@ -139,6 +141,26 @@ def record_parallel_campaign(workers: int, chunks: int) -> None:
     reg.counter(
         "repro_swifi_chunks_total", "Campaign spec chunks dispatched to workers"
     ).inc(chunks)
+
+
+def record_differential_trial(hit: bool, reason: str = "") -> None:
+    """One trial routed by the differential engine (swifi/differential.py).
+
+    ``hit`` means the trial was served by single-thread replay; a miss
+    fell back to full execution for ``reason`` (kernel ineligibility,
+    footprint conflicts, or a per-trial ``replay_conflict``).
+    """
+    reg = get_registry()
+    if hit:
+        reg.counter(
+            "repro_swifi_diff_hits_total",
+            "Campaign trials served by differential single-thread replay",
+        ).inc()
+    else:
+        reg.counter(
+            "repro_swifi_diff_fallbacks_total",
+            "Campaign trials that fell back to full execution",
+        ).inc(reason=reason or "ineligible")
 
 
 # -- guardian supervision (core/guardian.py) ----------------------------

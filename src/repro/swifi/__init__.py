@@ -19,8 +19,16 @@ from repro.swifi.campaign import (
     build_fault_specs,
 )
 from repro.swifi.parallel import run_campaign
+from repro.swifi.differential import (
+    DifferentialEngine,
+    differential_runner,
+    kernel_replay_obstacle,
+)
 
 __all__ = [
+    "DifferentialEngine",
+    "differential_runner",
+    "kernel_replay_obstacle",
     "FaultSpec",
     "ActivationRecord",
     "enumerate_targets",

@@ -1,0 +1,468 @@
+"""Differential trial execution: golden-run memoization + single-thread replay.
+
+Campaigns run thousands of single-fault trials (Section VIII), and each
+fault strikes exactly one thread — yet the straightforward runner
+re-executes the *whole grid* per trial.  This engine runs the fault-free
+launch once per (program, input, mode), recording per-thread cycle /
+loop-cycle / step totals plus a global-memory footprint (addresses read;
+``(addr, old, new)`` bit patterns for stores), then serves each trial by
+
+1. undoing the target thread's golden stores (reverse replay),
+2. re-executing *only* that thread under the armed
+   :class:`~repro.swifi.injector.FaultInjectionLibrary`, against a
+   :class:`~repro.gpu.memory.ReplayMemoryGuard`,
+3. splicing the replayed cycles/steps/events into the cached grid
+   totals to synthesize a bit-identical
+   :class:`~repro.gpu.runtime.LaunchResult` and
+   :class:`~repro.swifi.campaign.TrialObservation`.
+
+Soundness gates (anything else falls back to full execution):
+
+* **Kernel eligibility** — closure-path kernels only: no
+  ``__syncthreads``, no atomics, no shared-memory declarations (in the
+  sequential grid model those are cross-thread channels).
+* **Campaign eligibility** — every golden-stored address has exactly
+  one storing thread (undoing a thread's stores must be exact).
+* **Per-trial guard** — :class:`~repro.gpu.memory.ReplayMemoryGuard`
+  exploits the sequential gtid execution order: accesses ordered
+  before the target thread are safe, anything a *later* thread could
+  observe (or that observes a later thread's value) aborts with
+  :class:`~repro.gpu.memory.ReplayConflict` — or is admitted
+  provisionally and value-checked against golden bits at replay end;
+  a conflicting trial re-runs through the full path.
+
+Exactness of the cycle splice: every cost-model constant is a dyadic
+rational (multiples of 1/8), so the sequential golden accumulation, the
+subtraction of the target thread's contribution, and the addition of
+its replayed contribution are all exact float arithmetic — the
+synthesized totals equal the full run's bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.controlblock import ControlBlock, DetectionEvent
+from repro.core.ftlib import HauberkFTLibrary
+from repro.errors import KernelCrash, KernelHang
+from repro.gpu.memory import (
+    FootprintRecordingMemory,
+    ReplayConflict,
+    ReplayMemoryGuard,
+    ThreadFootprint,
+)
+from repro.gpu.runtime import GPURuntime, LaunchResult
+from repro.kir.astnodes import AtomicAdd, Kernel, walk_stmts
+from repro.kir.interp.evalcore import ExecContext
+from repro.obs.instrument import (
+    record_differential_trial,
+    record_launch,
+    record_launch_failure,
+)
+from repro.swifi.campaign import TrialObservation
+from repro.swifi.faultmodel import FaultSpec
+from repro.swifi.injector import FaultInjectionLibrary
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.core.program
+    from repro.core.program import HauberkProgram
+
+
+@dataclass
+class _Ineligible:
+    """Cached marker: this (program, mode, cb) cannot replay; reason why."""
+
+    reason: str
+
+
+@dataclass
+class ThreadRecord:
+    """One thread's golden execution: cost totals plus memory footprint."""
+
+    cycles: float
+    loop_cycles: float
+    steps: int
+    footprint: ThreadFootprint
+
+
+def kernel_replay_obstacle(kernel: Kernel) -> Optional[str]:
+    """Why this kernel cannot be replayed thread-at-a-time (None if it can).
+
+    Only global memory is footprinted, so any cross-thread channel
+    besides global memory — barriers, atomics, shared arrays — makes
+    isolated re-execution unsound.
+    """
+    if kernel.uses_sync:
+        return "uses_sync"
+    if kernel.shared:
+        return "shared_memory"
+    for stmt, _depth in walk_stmts(kernel.body):
+        if isinstance(stmt, AtomicAdd):
+            return "atomics"
+    return None
+
+
+def control_block_token(cb: ControlBlock) -> tuple:
+    """Value fingerprint of a control block's detector configuration.
+
+    Engines are cached under ``(mode, token)``: re-training or an alpha
+    sweep (``set_alpha_all`` between campaigns, Section IX.C) changes
+    the token, so stale golden detection events are never reused.
+    """
+    return tuple(
+        (det, cfg.variable, cfg.loop_id, cfg.self_accumulating,
+         cfg.has_trip_check, cfg.ranges.alpha,
+         tuple((r.lo, r.hi) for r in cfg.ranges.ranges))
+        for det, cfg in sorted(cb.detectors.items())
+    )
+
+
+class _GoldenRecorder:
+    """Launch recorder collecting one :class:`ThreadRecord` per thread."""
+
+    def __init__(self) -> None:
+        self.threads: List[ThreadRecord] = []
+        self.memory: Optional[FootprintRecordingMemory] = None
+        self._cycles0 = 0.0
+        self._loop0 = 0.0
+
+    def attach(self, memory) -> FootprintRecordingMemory:
+        self.memory = FootprintRecordingMemory(memory)
+        return self.memory
+
+    def begin_thread(self, ctx: ExecContext) -> None:
+        self._cycles0 = ctx.cycles
+        self._loop0 = ctx.loop_cycles
+        self.memory.begin_thread()
+
+    def end_thread(self, ctx: ExecContext) -> None:
+        self.threads.append(ThreadRecord(
+            cycles=ctx.cycles - self._cycles0,
+            loop_cycles=ctx.loop_cycles - self._loop0,
+            steps=ctx.steps,
+            footprint=self.memory.fp,
+        ))
+
+
+class DifferentialEngine:
+    """Replays single faulted threads against a memoized golden launch."""
+
+    def __init__(self, program: "HauberkProgram", mode: str, seed: int):
+        self.program = program
+        self.mode = mode
+        self.seed = seed
+        self.workload = program.workload
+        self.device = program.device
+        self.memory = program.device.memory
+        build = program.build(mode)
+        self.kernel = build.kernel
+        self.compiled, self.pressure = program.runtime.prepare(self.kernel)
+        self.fi = FaultInjectionLibrary(self.workload.kernel)
+        self.inp, self.golden = program.campaign_io(seed)
+        self.handles: Dict[str, object] = {}
+        self.records: List[ThreadRecord] = []
+        self.store_owner: Dict[int, int] = {}
+        self.load_readers: Dict[int, int] = {}
+        self.golden_events: Dict[int, List[DetectionEvent]] = {}
+        self.launch: Optional[LaunchResult] = None
+        self._golden_words: List[int] = []
+
+    # -- golden recording -------------------------------------------------
+    def record_golden(self) -> Optional[str]:
+        """Run and record the fault-free launch; returns a reason on failure."""
+        inp = self.inp
+        if not inp.buffers:
+            return "no device buffers"
+        gx, gy = inp.grid
+        bx, by = inp.block
+        self.gx, self.gy, self.bx, self.by = gx, gy, bx, by
+        self.block_size = bx * by
+        self.n_threads = inp.n_threads
+
+        args, handles = self.workload.setup_memory(self.device, inp)
+        lib, device_cb = self._fresh_library(None)
+        recorder = _GoldenRecorder()
+        try:
+            self.launch = self.program.runtime.launch(
+                self.kernel, inp.grid, inp.block, args,
+                lib=lib, budget=self.workload.hang_budget, recorder=recorder,
+            )
+        except (KernelHang, KernelCrash) as exc:
+            return f"golden run failed: {exc}"
+
+        self.handles = handles
+        self._probe_name = inp.buffers[0].name
+        self._probe_alloc = handles[self._probe_name]
+        self.records = recorder.threads
+        if len(self.records) != self.n_threads:
+            return "recorder thread-count mismatch"
+
+        # per-thread frame template (the launch's own lowering)
+        base = GPURuntime._lower_args(self.kernel, args)
+        base["gridDim.x"] = gx
+        base["gridDim.y"] = gy
+        base["blockDim.x"] = bx
+        base["blockDim.y"] = by
+        self.base_frame = base
+
+        self.lanes = min(self.n_threads, self.device.spec.parallel_lanes)
+        self.spill = self.launch.spill_factor
+
+        # top-2 step counts: max_thread_steps when the target is / is not
+        # the grid's longest-running thread
+        steps = [r.steps for r in self.records]
+        self._argmax_steps = max(range(len(steps)), key=steps.__getitem__)
+        self._max_steps = steps[self._argmax_steps]
+        rest = steps[: self._argmax_steps] + steps[self._argmax_steps + 1:]
+        self._second_steps = max(rest) if rest else 0
+
+        reason = self._build_conflict_maps()
+        if reason is not None:
+            return reason
+
+        if device_cb is not None:
+            block_size = self.block_size
+            for event in device_cb.events:
+                gtid = event.block * block_size + event.thread
+                self.golden_events.setdefault(gtid, []).append(event)
+
+        self._golden_words = self.memory.snapshot()
+        return None
+
+    def _build_conflict_maps(self) -> Optional[str]:
+        """Index the golden footprints for the per-trial replay guard.
+
+        Each address may have at most one storing thread: undoing a
+        thread's stores replays ``(addr, old, new)`` in reverse, which
+        is only exact when no other store interleaved.  Cross-thread
+        *reads* of stored addresses are fine — execution order resolves
+        them — so they index into ``load_readers`` (latest reader per
+        address) for the guard's ordering checks instead of
+        disqualifying the campaign.
+        """
+        store_owner = self.store_owner
+        for tid, rec in enumerate(self.records):
+            for addr, _old, _new in rec.footprint.stores:
+                owner = store_owner.get(addr)
+                if owner is None:
+                    store_owner[addr] = tid
+                elif owner != tid:
+                    return "golden footprints conflict: shared store address"
+        load_readers = self.load_readers
+        for tid, rec in enumerate(self.records):
+            for addr in rec.footprint.loads:
+                if load_readers.get(addr, -1) < tid:
+                    load_readers[addr] = tid
+        return None
+
+    # -- per-trial machinery ----------------------------------------------
+    def _fresh_library(self, spec: Optional[FaultSpec]):
+        """(library, device control block) exactly as the full path builds them."""
+        self.fi.arm(spec)
+        if self.mode != "fift":
+            return self.fi, None
+        from repro.core.program import CombinedLibrary  # lazy: import cycle
+
+        device_cb = self.program.cb.copy_to_device()
+        return CombinedLibrary([HauberkFTLibrary(device_cb), self.fi]), device_cb
+
+    def restore_memory(self) -> None:
+        """Re-establish the golden-final device state after a foreign run."""
+        _args, handles = self.workload.setup_memory(self.device, self.inp)
+        self.memory.restore(self._golden_words)
+        self.handles = handles
+        self._probe_alloc = handles[self._probe_name]
+
+    def _reapply(self, footprint: ThreadFootprint) -> None:
+        words = self.memory.words
+        for addr, _old, new in footprint.stores:
+            words[addr] = new
+
+    def run_trial(self, spec: FaultSpec) -> Optional[TrialObservation]:
+        """Serve one trial by replaying the faulted thread, or None to fall back.
+
+        Returns the same :class:`TrialObservation` full execution would
+        produce; ``None`` means the replay aborted (foreign-footprint
+        touch, unknown thread) and the caller must run the full trial.
+        """
+        target = spec.thread
+        if not 0 <= target < self.n_threads:
+            return None
+        # a full run (fallback trial, golden check) may have re-set up
+        # device memory since our snapshot: detect and self-heal
+        if self.memory.allocations.get(self._probe_name) is not self._probe_alloc:
+            self.restore_memory()
+
+        rec = self.records[target]
+        words = self.memory.words
+        for addr, old, _new in reversed(rec.footprint.stores):
+            words[addr] = old
+        guard = ReplayMemoryGuard(
+            self.memory, target, self.store_owner, self.load_readers
+        )
+        lib, device_cb = self._fresh_library(spec)
+        ctx = ExecContext(guard, lib=lib, budget=self.workload.hang_budget)
+
+        block, tib = divmod(target, self.block_size)
+        frame = dict(self.base_frame)
+        frame["blockIdx.x"] = block % self.gx
+        frame["blockIdx.y"] = block // self.gx
+        frame["threadIdx.x"] = tib % self.bx
+        frame["threadIdx.y"] = tib // self.bx
+
+        failure: Optional[Tuple[str, str]] = None
+        try:
+            self.compiled.run_thread_at(frame, ctx, block, tib)
+        except ReplayConflict:
+            guard.rollback()
+            self._reapply(rec.footprint)
+            return None
+        except KernelHang as exc:
+            failure = ("hang", str(exc))
+        except KernelCrash as exc:
+            failure = ("crash", str(exc))
+
+        activated = bool(self.fi.activation)
+        if failure is not None:
+            # the grid launch would have died inside this thread; threads
+            # before it ran exactly as in the golden run (no conflicts),
+            # threads after it never ran — same observation either way
+            guard.rollback()
+            self._reapply(rec.footprint)
+            record_launch_failure(self.kernel.name, failure[0])
+            return TrialObservation(
+                failure=True, detected=False, output_ok=False,
+                activated=activated, note=failure[1],
+            )
+
+        if guard.deferred and guard.deferred_mismatch(self._golden_words):
+            # a later thread would read a changed value: not replayable
+            guard.rollback()
+            self._reapply(rec.footprint)
+            return None
+
+        # splice the replayed thread into the cached grid totals
+        golden = self.launch
+        total = golden.total_cycles - rec.cycles + ctx.cycles
+        loop = golden.loop_cycles - rec.loop_cycles + ctx.loop_cycles
+        others_max = (
+            self._second_steps if target == self._argmax_steps else self._max_steps
+        )
+        result = LaunchResult(
+            kernel_name=golden.kernel_name,
+            n_threads=golden.n_threads,
+            total_cycles=total,
+            loop_cycles=loop,
+            kernel_time=total / self.lanes * self.spill,
+            register_pressure=self.pressure,
+            spill_factor=self.spill,
+            max_thread_steps=max(ctx.steps, others_max),
+        )
+        record_launch(result)
+
+        output = self.workload.read_output(self.device, self.inp, self.handles)
+        guard.rollback()
+        self._reapply(rec.footprint)
+
+        detected = False
+        if self.mode == "fift":
+            self.program.cb.copy_from_device(
+                self._splice_control_block(target, device_cb.events)
+            )
+            detected = self.program.cb.alarm_raised
+        ok = self.workload.spec.check(output, self.golden)
+        return TrialObservation(
+            failure=False, detected=detected, output_ok=ok,
+            activated=activated, note="",
+        )
+
+    def _splice_control_block(
+        self, target: int, replay_events: List[DetectionEvent]
+    ) -> ControlBlock:
+        """Golden event stream with the target thread's events replaced.
+
+        Event firing is thread-local (detectors check against the static
+        configured ranges), so non-target threads contribute exactly
+        their golden events; ``sdc_bit`` and the on-line ``updated_ranges``
+        learning are order-respecting folds over the spliced stream,
+        reproducing what the device copy would have held.
+        """
+        events: List[DetectionEvent] = []
+        golden_events = self.golden_events
+        for tid in range(self.n_threads):
+            if tid == target:
+                events.extend(replay_events)
+            else:
+                events.extend(golden_events.get(tid, ()))
+        updated: Dict[int, object] = {}
+        detectors = self.program.cb.detectors
+        for event in events:
+            if event.kind != "range":
+                continue
+            base = updated.get(event.detector)
+            if base is None:
+                base = detectors[event.detector].ranges
+            updated[event.detector] = base.learn(event.value)
+        return ControlBlock(
+            events=events, sdc_bit=bool(events), updated_ranges=updated
+        )
+
+
+def get_engine(program: "HauberkProgram", mode: str, seed: int = 0):
+    """The cached engine (or :class:`_Ineligible`) for this campaign setup."""
+    program.build(mode)  # fift: configures the control block before tokenizing
+    token = (mode, control_block_token(program.cb) if mode == "fift" else None)
+    record = program.golden_record(seed)
+    entry = record.exec_states.get(token)
+    if entry is None:
+        entry = _build_engine(program, mode, seed)
+        record.exec_states[token] = entry
+    return entry
+
+
+def _build_engine(program: "HauberkProgram", mode: str, seed: int):
+    if mode not in ("fi", "fift"):
+        return _Ineligible(f"mode {mode!r} has no FI trials")
+    obstacle = kernel_replay_obstacle(program.build(mode).kernel)
+    if obstacle is not None:
+        return _Ineligible(obstacle)
+    engine = DifferentialEngine(program, mode, seed)
+    reason = engine.record_golden()
+    if reason is not None:
+        return _Ineligible(reason)
+    return engine
+
+
+def differential_runner(program: "HauberkProgram", mode: str, seed: int = 0):
+    """A ``Campaign``-compatible runner serving trials differentially.
+
+    Drop-in replacement for ``program.trial_runner(mode, seed)``:
+    eligible trials replay one thread; everything else (ineligible
+    kernels, replay conflicts, fault-free ``spec=None`` runs) goes
+    through the full path.  Observations are identical either way.
+    """
+    full = program.trial_runner(mode, seed)
+    entry = get_engine(program, mode, seed)
+    if isinstance(entry, _Ineligible):
+        reason = entry.reason
+
+        def fallback_runner(spec: Optional[FaultSpec]) -> TrialObservation:
+            if spec is not None:
+                record_differential_trial(False, reason)
+            return full(spec)
+
+        return fallback_runner
+
+    engine: DifferentialEngine = entry
+
+    def runner(spec: Optional[FaultSpec]) -> TrialObservation:
+        if spec is None:
+            return full(spec)
+        obs = engine.run_trial(spec)
+        if obs is None:
+            record_differential_trial(False, "replay_conflict")
+            return full(spec)
+        record_differential_trial(True)
+        return obs
+
+    return runner

@@ -90,7 +90,23 @@ class _WorkerState:
 _STATE: Optional[_WorkerState] = None
 
 
-def _init_worker(program, mode, seed, runner_factory, capture_trace) -> None:
+def _make_runner(program, mode, seed, differential):
+    """The campaign trial runner: differential when requested, else full.
+
+    The differential runner memoizes the golden launch on the program
+    (``GoldenRecord.exec_states``), so building it parent-side before a
+    fork warms every worker — each child's own call here is a cache hit
+    that launches nothing.
+    """
+    if differential:
+        from repro.swifi.differential import differential_runner
+
+        return differential_runner(program, mode, seed)
+    return program.trial_runner(mode, seed)
+
+
+def _init_worker(program, mode, seed, runner_factory, capture_trace,
+                 differential) -> None:
     """Pool initializer: warm this worker's caches exactly once.
 
     Runs in the child right after ``fork``.  The inherited tracer is
@@ -106,7 +122,7 @@ def _init_worker(program, mode, seed, runner_factory, capture_trace) -> None:
     else:
         build = program.build(mode)
         program.runtime.prepare(build.kernel)
-        runner = program.trial_runner(mode, seed)
+        runner = _make_runner(program, mode, seed, differential)
     _STATE = _WorkerState(runner=runner, capture_trace=capture_trace)
 
 
@@ -157,6 +173,7 @@ def run_campaign(
     seed: int = 0,
     chunk_size: Optional[int] = None,
     runner_factory: Optional[Callable[[], Callable]] = None,
+    differential: bool = True,
 ) -> CampaignResult:
     """Run one FI campaign over ``specs``, optionally across processes.
 
@@ -165,6 +182,11 @@ def run_campaign(
     mode, seed)).run(specs)``; with more workers the specs are chunked
     across a fork pool and merged deterministically, so the returned
     :class:`CampaignResult` is identical for any worker count.
+
+    ``differential`` (default on) serves eligible trials via golden-run
+    memoization + single-thread replay (:mod:`repro.swifi.differential`)
+    with automatic per-trial fallback to full execution; observations
+    are identical either way, so this composes with any worker count.
 
     ``runner_factory`` overrides ``program.trial_runner`` (used by
     tests to exercise the pool without a full program; the factory is
@@ -175,17 +197,19 @@ def run_campaign(
     n_workers = min(n_workers, max(1, len(spec_list)))
     if n_workers <= 1 or not fork_available():
         runner = runner_factory() if runner_factory is not None else \
-            program.trial_runner(mode, seed)
+            _make_runner(program, mode, seed, differential)
         return Campaign(runner).run(spec_list)
 
     if runner_factory is None:
         # Warm the parent before forking: the translated build, the
-        # compiled kernel, and the campaign input/golden are inherited
-        # by every worker, so per-worker init is a cache hit and the
-        # translator/golden metrics are recorded once, parent-side.
+        # compiled kernel, the campaign input/golden, and (under
+        # differential execution) the recorded golden launch are
+        # inherited by every worker, so per-worker init is a cache hit
+        # and the translator/golden metrics are recorded once,
+        # parent-side.
         build = program.build(mode)
         program.runtime.prepare(build.kernel)
-        program.trial_runner(mode, seed)
+        _make_runner(program, mode, seed, differential)
 
     tracer = get_tracer()
     size = chunk_size if chunk_size is not None else \
@@ -196,7 +220,8 @@ def run_campaign(
     pool = ForkPool(
         n_workers,
         initializer=_init_worker,
-        initargs=(program, mode, seed, runner_factory, tracer.enabled),
+        initargs=(program, mode, seed, runner_factory, tracer.enabled,
+                  differential),
         crash_error=InjectionError,
     )
     payloads = [(i, spec_list[a:b]) for i, (a, b) in enumerate(slices)]

@@ -73,6 +73,24 @@ class WorkloadInput:
         raise WorkloadError(f"no buffer named {name!r}")
 
 
+@dataclass
+class GoldenRecord:
+    """Per-seed golden cache entry of one program's campaign state.
+
+    Holds the fixed campaign input and its golden output (what
+    ``campaign_io`` always cached) plus the differential engine's
+    golden *execution* state — per-thread cycle/footprint records keyed
+    by ``(mode, control-block fingerprint)`` so an alpha sweep between
+    campaigns never reuses stale detector state (see
+    :mod:`repro.swifi.differential`).
+    """
+
+    inp: WorkloadInput
+    golden: np.ndarray
+    #: (mode, cb_token) -> DifferentialEngine | _Ineligible
+    exec_states: Dict[tuple, object] = field(default_factory=dict)
+
+
 #: Process-wide parse cache: kernel source text -> validated Kernel.
 #: Bounded by the number of distinct workload sources in the process.
 _PARSE_CACHE: Dict[str, Kernel] = {}
