@@ -49,7 +49,9 @@ def scale() -> ExperimentScale:
     raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
     if raw:
         workers = resolve_workers(raw if raw == "auto" else int(raw))
-        preset = dataclasses.replace(preset, workers=workers)
+        preset = dataclasses.replace(
+            preset, campaign=preset.campaign.evolve(workers=workers)
+        )
     return preset
 
 

@@ -7,6 +7,8 @@ Usage::
     python -m repro run all --scale smoke     # everything, fast
     python -m repro run fig04 --trace t.jsonl # + a JSON-lines trace
     python -m repro run fig04 --json-dir out/ # + tables as JSON
+    python -m repro run fig14 --run-dir runs  # durable trial journal
+    python -m repro run fig14 --resume runs   # resume a killed campaign
     python -m repro metrics fig04             # Prometheus metrics dump
     python -m repro workloads                 # benchmark inventory
     python -m repro inspect CP --mode ft      # show instrumented source
@@ -38,16 +40,61 @@ def _workers_arg(value: str):
         ) from None
 
 
+def _campaign_parent() -> argparse.ArgumentParser:
+    """Shared campaign flags, parsed into one ``CampaignOptions``.
+
+    A single parent parser keeps ``run`` and ``metrics`` (and any future
+    campaign-driving subcommand) flag-for-flag identical.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    grp = parent.add_argument_group("campaign execution")
+    grp.add_argument("--workers", type=_workers_arg, metavar="N",
+                     help="campaign worker processes (or 'auto'; default 1)")
+    grp.add_argument("--no-differential", action="store_true",
+                     help="run every campaign trial as a full grid "
+                          "execution instead of differential replay")
+    grp.add_argument("--run-dir", metavar="DIR",
+                     help="journal every campaign trial under DIR "
+                          "(one subdirectory per campaign fingerprint)")
+    grp.add_argument("--resume", metavar="DIR",
+                     help="resume campaigns from the journal under DIR: "
+                          "already-recorded trials replay instead of "
+                          "re-executing (implies journaling to DIR)")
+    grp.add_argument("--retries", type=int, metavar="N",
+                     help="worker deaths tolerated per fault spec before "
+                          "quarantine (0 = fail the campaign; default 2)")
+    grp.add_argument("--trial-timeout", type=float, metavar="SECONDS",
+                     help="per-trial wall-clock budget; a trial exceeding "
+                          "it is classified as a hang")
+    return parent
+
+
 def _resolve_scale(args):
-    """The preset named by --scale, with --workers/--no-differential folded in."""
+    """The preset named by --scale, with the campaign flags folded in."""
     scale = _SCALES[args.scale]
+    changes = {}
     workers = getattr(args, "workers", None)
     if workers is not None:
         from repro.exec import resolve_workers
 
-        scale = dataclasses.replace(scale, workers=resolve_workers(workers))
+        changes["workers"] = resolve_workers(workers)
     if getattr(args, "no_differential", False):
-        scale = dataclasses.replace(scale, differential=False)
+        changes["differential"] = False
+    if getattr(args, "run_dir", None):
+        changes["run_dir"] = args.run_dir
+    if getattr(args, "resume", None):
+        changes["resume"] = args.resume
+    retries = getattr(args, "retries", None)
+    if retries is not None:
+        from repro.exec import RetryPolicy
+
+        changes["retry"] = RetryPolicy(max_deaths=retries)
+    if getattr(args, "trial_timeout", None) is not None:
+        changes["trial_timeout"] = args.trial_timeout
+    if changes:
+        scale = dataclasses.replace(
+            scale, campaign=scale.campaign.evolve(**changes)
+        )
     return scale
 
 
@@ -229,14 +276,12 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="list available experiments").set_defaults(fn=cmd_list)
 
-    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    campaign_flags = _campaign_parent()
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')",
+                           parents=[campaign_flags])
     run_p.add_argument("experiment")
     run_p.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
-    run_p.add_argument("--workers", type=_workers_arg, metavar="N",
-                       help="campaign worker processes (or 'auto'; default 1)")
-    run_p.add_argument("--no-differential", action="store_true",
-                       help="run every campaign trial as a full grid "
-                            "execution instead of differential replay")
     run_p.add_argument("--trace", metavar="FILE",
                        help="write a JSON-lines span/event trace to FILE")
     run_p.add_argument("--json-dir", metavar="DIR",
@@ -244,15 +289,11 @@ def main(argv=None) -> int:
     run_p.set_defaults(fn=cmd_run)
 
     met_p = sub.add_parser(
-        "metrics", help="run experiment(s) and dump the metrics registry"
+        "metrics", help="run experiment(s) and dump the metrics registry",
+        parents=[campaign_flags],
     )
     met_p.add_argument("experiment")
     met_p.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
-    met_p.add_argument("--workers", type=_workers_arg, metavar="N",
-                       help="campaign worker processes (or 'auto'; default 1)")
-    met_p.add_argument("--no-differential", action="store_true",
-                       help="run every campaign trial as a full grid "
-                            "execution instead of differential replay")
     met_p.add_argument("--format", choices=("prometheus", "json"),
                        default="prometheus")
     met_p.add_argument("--output", metavar="FILE",

@@ -6,6 +6,11 @@ Two small modules shared by the scale-out layers:
   per-worker initialisation, deterministic order-preserving chunk
   mapping, and hard-crash surfacing (a dead worker raises instead of
   hanging the campaign).
+* :mod:`repro.exec.retry` — the fault-tolerance layer on top of the
+  pool: resilient chunk mapping (dead-worker chunks are split and
+  retried on fresh pools with exponential backoff, repeat offenders
+  quarantined) and :func:`trial_deadline`, a wall-clock budget that
+  degrades hung work items to a catchable timeout.
 * :mod:`repro.exec.cache` — :class:`EphemeralCache`, a dict that
   resets itself across ``deepcopy`` and pickling so hot-path caches
   can live *on* the objects they describe (kernels) without leaking
@@ -25,6 +30,13 @@ from repro.exec.pool import (
     fork_available,
     resolve_workers,
 )
+from repro.exec.retry import (
+    DeathRecord,
+    RetryPolicy,
+    TrialTimeout,
+    map_resilient,
+    trial_deadline,
+)
 
 __all__ = [
     "EphemeralCache",
@@ -34,4 +46,9 @@ __all__ = [
     "default_chunk_size",
     "fork_available",
     "resolve_workers",
+    "DeathRecord",
+    "RetryPolicy",
+    "TrialTimeout",
+    "map_resilient",
+    "trial_deadline",
 ]

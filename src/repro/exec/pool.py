@@ -74,7 +74,15 @@ def chunk_slices(n_items: int, chunk_size: int) -> List[Tuple[int, int]]:
 
 
 class ForkPool:
-    """Thin, single-use wrapper over a fork-context process pool."""
+    """Thin wrapper over fork-context process pools.
+
+    Holds the worker count, warm initializer, and crash-error type for
+    a family of executors: :meth:`executor` mints a fresh
+    ``ProcessPoolExecutor`` each call, which is what lets the retry
+    layer (:mod:`repro.exec.retry`) replace a broken pool with a new
+    one — same initializer, same inherited address space — instead of
+    giving up.
+    """
 
     def __init__(
         self,
@@ -92,6 +100,15 @@ class ForkPool:
         self.initargs = initargs
         self.crash_error = crash_error
 
+    def executor(self, max_workers: Optional[int] = None) -> ProcessPoolExecutor:
+        """A fresh fork-context executor with this pool's initializer."""
+        return ProcessPoolExecutor(
+            max_workers=max_workers if max_workers is not None else self.workers,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=self.initializer,
+            initargs=self.initargs,
+        )
+
     def map_ordered(self, fn: Callable, payloads: Sequence) -> List:
         """Run ``fn`` over ``payloads``; results in submission order.
 
@@ -100,13 +117,7 @@ class ForkPool:
         worker-process death surfaces as ``crash_error`` on the first
         affected payload rather than a hang.
         """
-        ctx = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=ctx,
-            initializer=self.initializer,
-            initargs=self.initargs,
-        ) as pool:
+        with self.executor() as pool:
             futures = [pool.submit(fn, payload) for payload in payloads]
             results = []
             for i, future in enumerate(futures):

@@ -1,0 +1,276 @@
+"""Fault-tolerant chunk execution: retry, split, isolate, quarantine.
+
+The fork pool (:mod:`repro.exec.pool`) surfaces a dead worker as an
+exception, which turns one bad spec — an OOM-killed trial, a segfault
+in a C extension, an ``os._exit`` — into a lost campaign.  This module
+adds the recovery layer on top:
+
+* **Retry with splitting** — when a worker process dies, every chunk
+  the broken pool had not finished is re-dispatched on a *fresh* pool
+  after an exponential backoff; multi-item chunks are split in half
+  first, so the blast radius of the killer item shrinks by half each
+  round (binary search for the culprit).
+* **Isolation for blame** — a ``BrokenProcessPool`` marks *every*
+  unfinished future, so a shared pool cannot attribute a death to one
+  chunk.  A single-item chunk that has failed once therefore re-runs in
+  its own single-worker pool, where a death is attributable beyond
+  doubt.
+* **Quarantine** — an item implicated in ``RetryPolicy.max_deaths``
+  worker deaths (at least one of them in isolation) is dropped from the
+  work list and reported as a :class:`DeathRecord` instead of being
+  retried forever; the caller decides what a quarantined item means
+  (the SWIFI campaign layer turns it into a ``WorkerKilled`` outcome).
+
+Termination is unconditional: each round either completes chunks,
+halves a failed chunk, or advances an item's death count toward the
+quarantine threshold, so the number of rounds is bounded by
+``log2(chunk size) + max_deaths + 1`` even when every item is a killer.
+
+:func:`trial_deadline` is the sibling per-trial guard: a wall-clock
+``SIGALRM`` budget that converts a hung trial into a
+:class:`TrialTimeout` instead of stalling the worker (or the serial
+loop) forever.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.pool import ForkPool, chunk_slices
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the resilient mapper reacts to worker-process deaths.
+
+    ``max_deaths`` is the quarantine threshold: the number of worker
+    deaths an item may be implicated in before it is given up on.  With
+    the default of 2, an item that shared a broken pool once (possibly
+    as an innocent bystander of another item's kill) always gets one
+    isolated retry before quarantine.  ``0`` disables fault tolerance
+    entirely — the first dead worker surfaces as an exception, the
+    pre-retry behaviour.
+    """
+
+    max_deaths: int = 2
+    #: Delay before the first retry round, in seconds.
+    backoff_base: float = 0.05
+    #: Multiplier applied to the delay each further round.
+    backoff_factor: float = 2.0
+    #: Upper bound on any single backoff delay, in seconds.
+    backoff_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_deaths < 0:
+            raise ValueError(f"max_deaths must be >= 0, got {self.max_deaths}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    @property
+    def tolerant(self) -> bool:
+        """Whether worker deaths are handled instead of raised."""
+        return self.max_deaths > 0
+
+    def backoff(self, round_no: int) -> float:
+        """Backoff delay before retry round ``round_no`` (1-based)."""
+        if round_no <= 0:
+            return 0.0
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (round_no - 1),
+        )
+
+
+@dataclass
+class DeathRecord:
+    """One quarantined work item and the evidence against it."""
+
+    item: Any
+    #: Worker deaths the item was implicated in (shared + isolated).
+    deaths: int
+    #: Isolated (single-worker pool) deaths — attributable beyond doubt.
+    isolated_deaths: int
+    #: Retry round on which the item was quarantined.
+    round_no: int
+    note: str = ""
+
+
+class TrialTimeout(Exception):
+    """A trial exceeded its wall-clock budget (see :func:`trial_deadline`)."""
+
+
+@contextlib.contextmanager
+def trial_deadline(seconds: Optional[float]):
+    """Bound a block to ``seconds`` of wall clock via ``SIGALRM``.
+
+    Raises :class:`TrialTimeout` from inside the block when the budget
+    expires.  Degrades to a no-op when ``seconds`` is falsy, when the
+    platform has no ``setitimer`` (Windows), or when not running on the
+    main thread (signals cannot be delivered elsewhere) — callers get
+    best-effort hang protection, never a crash.  Only interrupts Python
+    bytecode; a single long-running C call is not preempted.
+    """
+    if not seconds or seconds <= 0 or not hasattr(signal, "setitimer"):
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise TrialTimeout(f"trial exceeded {seconds:g}s wall clock")
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _expire)
+    except ValueError:  # not on the main thread
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def map_resilient(
+    pool: ForkPool,
+    fn: Callable,
+    items: Sequence,
+    chunk_size: int,
+    policy: RetryPolicy,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+    on_event: Optional[Callable[..., None]] = None,
+    on_result: Optional[Callable[[Sequence, Any], None]] = None,
+) -> Tuple[List[Tuple[Sequence, Any]], List[DeathRecord]]:
+    """Run ``fn`` over chunks of ``items``, surviving worker deaths.
+
+    ``fn`` receives a tuple of consecutive items (one chunk) and runs in
+    a worker of ``pool``; a chunk whose worker dies is split and retried
+    per ``policy``.  Exceptions *raised by* ``fn`` propagate unchanged —
+    only hard worker deaths (``BrokenProcessPool``) are retried.
+
+    Returns ``(completed, dead)``: ``completed`` is a list of
+    ``(chunk_items, fn_result)`` pairs covering every non-quarantined
+    item exactly once (in no particular order — callers reassemble by
+    item identity), and ``dead`` holds a :class:`DeathRecord` per
+    quarantined item.  With ``policy.max_deaths == 0`` the first worker
+    death raises ``pool.crash_error`` instead, preserving the strict
+    crash-surfacing behaviour.
+
+    ``sleep`` and ``on_event`` exist for tests and observability:
+    ``on_event(kind, **attrs)`` fires with ``kind`` in
+    ``{"worker_death", "retry", "quarantine"}``.  ``on_result`` fires
+    with each ``(chunk_items, fn_result)`` the moment the chunk
+    completes, so callers can persist partial progress (the campaign
+    journal) before the map — or the process — finishes.
+    """
+
+    def emit(kind: str, **attrs: Any) -> None:
+        if on_event is not None:
+            on_event(kind, **attrs)
+
+    def finish(chunk: Sequence, result: Any) -> None:
+        completed.append((chunk, result))
+        if on_result is not None:
+            on_result(chunk, result)
+
+    chunks: List[Tuple] = [
+        tuple(items[a:b]) for a, b in chunk_slices(len(items), chunk_size)
+    ]
+    completed: List[Tuple[Sequence, Any]] = []
+    dead: List[DeathRecord] = []
+    deaths: Dict[int, int] = {}
+    isolated: Dict[int, int] = {}
+    # positional identity: items may not be hashable or unique
+    index_of = {id(item): i for i, item in enumerate(items)}
+
+    def run_shared(pending: List[Tuple]) -> List[Tuple]:
+        """One shared pool over ``pending``; returns the failed chunks."""
+        failed: List[Tuple] = []
+        with pool.executor() as ex:
+            futures = [(chunk, ex.submit(fn, chunk)) for chunk in pending]
+            for chunk, future in futures:
+                try:
+                    finish(chunk, future.result())
+                except BrokenProcessPool as exc:
+                    if not policy.tolerant:
+                        raise pool.crash_error(
+                            f"worker process died while running a chunk of "
+                            f"{len(chunk)} item(s) (retries disabled)"
+                        ) from exc
+                    failed.append(chunk)
+        if failed:
+            emit("worker_death", phase="shared",
+                 failed_chunks=len(failed),
+                 failed_items=sum(len(c) for c in failed))
+        return failed
+
+    def run_isolated(chunk: Tuple) -> bool:
+        """Run one suspect chunk alone; True when it completed."""
+        with pool.executor(max_workers=1) as ex:
+            try:
+                finish(chunk, ex.submit(fn, chunk).result())
+                return True
+            except BrokenProcessPool:
+                pass
+        key = index_of[id(chunk[0])]
+        isolated[key] = isolated.get(key, 0) + 1
+        emit("worker_death", phase="isolated", failed_chunks=1, failed_items=1)
+        return False
+
+    def blame(chunk: Tuple) -> None:
+        key = index_of[id(chunk[0])]
+        deaths[key] = deaths.get(key, 0) + 1
+
+    suspects: List[Tuple] = []
+    pending = chunks
+    round_no = 0
+    while pending or suspects:
+        if round_no > 0:
+            delay = policy.backoff(round_no)
+            emit("retry", round_no=round_no, delay=delay,
+                 chunks=len(pending), suspects=len(suspects))
+            if delay > 0:
+                sleep(delay)
+        failed = run_shared(pending) if pending else []
+
+        next_suspects: List[Tuple] = []
+        for chunk in suspects:
+            if run_isolated(chunk):
+                continue
+            blame(chunk)
+            key = index_of[id(chunk[0])]
+            if deaths[key] >= policy.max_deaths and isolated.get(key, 0) >= 1:
+                record = DeathRecord(
+                    item=chunk[0], deaths=deaths[key],
+                    isolated_deaths=isolated[key], round_no=round_no,
+                    note=f"worker process died {deaths[key]}x "
+                         f"({isolated[key]}x in isolation)",
+                )
+                dead.append(record)
+                emit("quarantine", deaths=record.deaths, round_no=round_no)
+            else:
+                next_suspects.append(chunk)
+
+        pending = []
+        for chunk in failed:
+            if len(chunk) == 1:
+                # implicated, but unattributable in a shared pool: the
+                # item earns a strike and an isolated day in court
+                blame(chunk)
+                next_suspects.append(chunk)
+            else:
+                mid = len(chunk) // 2
+                pending.extend((chunk[:mid], chunk[mid:]))
+        suspects = next_suspects
+        round_no += 1
+
+    return completed, dead

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from repro.swifi.options import CampaignOptions
+
 
 @dataclass(frozen=True)
 class ExperimentScale:
@@ -39,16 +41,24 @@ class ExperimentScale:
     #: Workload construction overrides per name (bigger = closer to
     #: the paper's loop fractions, slower to simulate).
     workload_kwargs: Dict[str, dict] = field(default_factory=dict)
-    #: Worker processes for campaign trial execution (1 = in-process;
-    #: see ``repro.swifi.parallel``).  The CLI's ``--workers`` and the
-    #: benchmark suite's ``REPRO_BENCH_WORKERS`` override this via
-    #: ``dataclasses.replace``.
-    workers: int = 1
-    #: Serve campaign trials via golden-run memoization + single-thread
-    #: replay where sound (``repro.swifi.differential``); results are
-    #: identical either way.  The CLI's ``--no-differential`` clears it.
-    differential: bool = True
+    #: Campaign execution options — workers, chunking, differential
+    #: replay, journaling/resume, retry policy, trial timeout — in one
+    #: :class:`~repro.swifi.options.CampaignOptions`.  The CLI's
+    #: campaign flags and ``REPRO_BENCH_WORKERS`` override this via
+    #: ``dataclasses.replace(scale, campaign=scale.campaign.evolve(...))``.
+    campaign: CampaignOptions = field(default_factory=CampaignOptions)
     seed: int = 2011
+
+    # -- deprecated views (pre-CampaignOptions API) ----------------------
+    @property
+    def workers(self) -> object:
+        """Deprecated: read ``scale.campaign.workers`` instead."""
+        return self.campaign.workers
+
+    @property
+    def differential(self) -> bool:
+        """Deprecated: read ``scale.campaign.differential`` instead."""
+        return self.campaign.differential
 
 
 #: Fast preset for the test suite.

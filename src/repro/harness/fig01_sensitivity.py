@@ -82,8 +82,7 @@ def _gpu_rows(
                 seed=scale.seed + 101 * CLASSES.index(cls),
             )[:trials_cap_per_class]
             summary = run_campaign(
-                prog, specs, mode="fi", workers=scale.workers,
-                differential=scale.differential,
+                prog, specs, mode="fi", options=scale.campaign,
             ).summary()
             outcomes = summary["outcomes"]
             t = tallies[cls]

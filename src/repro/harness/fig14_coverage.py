@@ -70,8 +70,8 @@ def run_fig14(
                 bit_counts=(bits,),
                 seed=scale.seed + bits,
             )
-            cell = run_campaign(prog, specs, mode="fift", workers=scale.workers,
-                                differential=scale.differential)
+            cell = run_campaign(prog, specs, mode="fift",
+                                options=scale.campaign)
             result.cells[(name, bits)] = cell.counts
             result.summaries[(name, bits)] = cell.summary()
     return result

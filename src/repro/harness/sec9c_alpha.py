@@ -69,8 +69,7 @@ def run_sec9c(
         # set_alpha_all precedes the campaign, so parallel workers
         # (forked per campaign) inherit the updated control block
         prog.cb.set_alpha_all(alpha)
-        cell = run_campaign(prog, specs, mode="fift", workers=scale.workers,
-                            differential=scale.differential)
+        cell = run_campaign(prog, specs, mode="fift", options=scale.campaign)
         result.coverage[alpha] = cell.counts.coverage
     return result
 

@@ -25,6 +25,12 @@ repro_swifi_parallel_workers                gauge      --
 repro_swifi_chunks_total                    counter    --
 repro_swifi_diff_hits_total                 counter    --
 repro_swifi_diff_fallbacks_total            counter    reason
+repro_swifi_journal_replayed_total          counter    --
+repro_swifi_journal_appends_total           counter    --
+repro_swifi_worker_deaths_total             counter    phase
+repro_swifi_retry_rounds_total              counter    --
+repro_swifi_quarantined_total               counter    --
+repro_swifi_trial_timeouts_total            counter    --
 repro_guardian_attempts_total               counter    --
 repro_guardian_restarts_total               counter    --
 repro_guardian_hang_kills_total             counter    --
@@ -161,6 +167,61 @@ def record_differential_trial(hit: bool, reason: str = "") -> None:
             "repro_swifi_diff_fallbacks_total",
             "Campaign trials that fell back to full execution",
         ).inc(reason=reason or "ineligible")
+
+
+def record_journal_activity(replayed: int = 0, appended: int = 0) -> None:
+    """Journal traffic of one campaign (swifi/journal.py).
+
+    ``replayed`` counts trials served from a resumed journal instead of
+    re-executed; ``appended`` counts fresh records flushed to disk.
+    """
+    reg = get_registry()
+    if replayed:
+        reg.counter(
+            "repro_swifi_journal_replayed_total",
+            "Campaign trials replayed from a resumed journal",
+        ).inc(replayed)
+    if appended:
+        reg.counter(
+            "repro_swifi_journal_appends_total",
+            "Trial records appended to campaign journals",
+        ).inc(appended)
+
+
+def record_worker_death(phase: str, count: int = 1) -> None:
+    """Worker-pool deaths observed by the resilient mapper.
+
+    ``phase`` is ``shared`` (death in the common pool, blame unknown) or
+    ``isolated`` (death in a single-worker blame pool, spec convicted).
+    """
+    get_registry().counter(
+        "repro_swifi_worker_deaths_total",
+        "Worker process deaths during resilient campaign mapping",
+    ).inc(count, phase=phase)
+
+
+def record_retry_round() -> None:
+    """One backoff-and-retry round of the resilient mapper."""
+    get_registry().counter(
+        "repro_swifi_retry_rounds_total",
+        "Retry rounds of the resilient campaign mapper",
+    ).inc()
+
+
+def record_quarantine() -> None:
+    """One spec quarantined after repeatedly killing workers."""
+    get_registry().counter(
+        "repro_swifi_quarantined_total",
+        "Fault specs quarantined for killing worker processes",
+    ).inc()
+
+
+def record_trial_timeout() -> None:
+    """One trial degraded to the hang class by the wall-clock deadline."""
+    get_registry().counter(
+        "repro_swifi_trial_timeouts_total",
+        "Campaign trials that exceeded the per-trial wall-clock budget",
+    ).inc()
 
 
 # -- guardian supervision (core/guardian.py) ----------------------------

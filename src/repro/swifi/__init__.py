@@ -15,8 +15,15 @@ from repro.swifi.outcomes import Outcome, classify_outcome, OutcomeCounts
 from repro.swifi.campaign import (
     Campaign,
     CampaignResult,
+    QuarantineReport,
     TrialResult,
     build_fault_specs,
+)
+from repro.swifi.options import CampaignOptions
+from repro.swifi.journal import (
+    CampaignJournal,
+    campaign_fingerprint,
+    spec_fingerprint,
 )
 from repro.swifi.parallel import run_campaign
 from repro.swifi.differential import (
@@ -26,9 +33,13 @@ from repro.swifi.differential import (
 )
 
 __all__ = [
+    "CampaignJournal",
+    "CampaignOptions",
     "DifferentialEngine",
+    "campaign_fingerprint",
     "differential_runner",
     "kernel_replay_obstacle",
+    "spec_fingerprint",
     "FaultSpec",
     "ActivationRecord",
     "enumerate_targets",
@@ -40,6 +51,7 @@ __all__ = [
     "OutcomeCounts",
     "Campaign",
     "CampaignResult",
+    "QuarantineReport",
     "TrialResult",
     "build_fault_specs",
     "run_campaign",

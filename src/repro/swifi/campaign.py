@@ -44,11 +44,36 @@ class TrialResult:
 
 
 @dataclass
+class QuarantineReport:
+    """Structured evidence for one spec the retry engine gave up on.
+
+    Attached to :attr:`CampaignResult.quarantined` when a spec's worker
+    process died ``deaths`` times in isolation (see
+    :mod:`repro.exec.retry`); the spec still enters the result as a
+    :data:`Outcome.WORKER_KILLED` trial so campaigns complete with a
+    full per-spec accounting instead of aborting.
+    """
+
+    spec: FaultSpec
+    #: Index of the spec in the campaign's plan.
+    index: int
+    #: Isolated worker deaths attributed to this spec.
+    deaths: int
+    #: Total executor rounds the campaign needed while retrying.
+    rounds: int
+    #: Free-form detail (exit description of the last death, if known).
+    note: str = ""
+
+
+@dataclass
 class CampaignResult:
     """All trials of one campaign plus the tally."""
 
     trials: List[TrialResult] = field(default_factory=list)
     counts: OutcomeCounts = field(default_factory=OutcomeCounts)
+    #: Reports for specs quarantined by the fault-tolerant pool; their
+    #: trials carry :data:`Outcome.WORKER_KILLED` in :attr:`trials`.
+    quarantined: List[QuarantineReport] = field(default_factory=list)
 
     def add(self, trial: TrialResult) -> None:
         self.trials.append(trial)
@@ -66,15 +91,21 @@ class CampaignResult:
         Used by the metrics layer and the figure harnesses instead of
         re-counting outcomes ad hoc; keys: ``trials``, ``outcomes`` (by
         class name), ``activation_ratio``, ``coverage``, ``sdc_ratio``,
-        ``failure_ratio``.
+        ``failure_ratio``, ``quarantined``.
+
+        A zero-trial campaign reports every ratio as 0.0 — including
+        ``coverage``, which would otherwise read 1 - 0/0 and claim
+        perfect detection for an experiment that measured nothing.
         """
+        empty = not self.trials
         return {
             "trials": len(self.trials),
             "outcomes": {o.value: self.counts.counts[o] for o in Outcome},
             "activation_ratio": self.activation_ratio,
-            "coverage": self.counts.coverage,
+            "coverage": 0.0 if empty else self.counts.coverage,
             "sdc_ratio": self.counts.sdc_ratio,
             "failure_ratio": self.counts.failure_ratio,
+            "quarantined": len(self.quarantined),
         }
 
     def filter(self, predicate: Callable[[TrialResult], bool]) -> "CampaignResult":
@@ -107,6 +138,33 @@ def absorb_trial(
         outcome=outcome.value, activated=obs.activated,
     )
     return outcome
+
+
+def absorb_quarantined(
+    result: CampaignResult, report: QuarantineReport, tracer
+) -> TrialObservation:
+    """Enter one quarantined spec into a :class:`CampaignResult`.
+
+    The quarantine counterpart of :func:`absorb_trial`: the spec lands
+    as a :data:`Outcome.WORKER_KILLED` trial (the worker died before an
+    observation existed, so the synthetic observation mirrors a hard
+    failure) and the structured report is preserved on the result.
+    """
+    obs = TrialObservation(
+        failure=True, detected=False, output_ok=False, activated=False,
+        note=report.note or
+        f"worker process killed {report.deaths}x; spec quarantined",
+    )
+    result.add(TrialResult(
+        spec=report.spec, outcome=Outcome.WORKER_KILLED, observation=obs,
+    ))
+    result.quarantined.append(report)
+    record_trial(Outcome.WORKER_KILLED, report.spec)
+    tracer.event(
+        "swifi.quarantine", site=report.spec.site, label=report.spec.label,
+        index=report.index, deaths=report.deaths, rounds=report.rounds,
+    )
+    return obs
 
 
 class Campaign:

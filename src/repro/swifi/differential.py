@@ -465,4 +465,7 @@ def differential_runner(program: "HauberkProgram", mode: str, seed: int = 0):
         record_differential_trial(True)
         return obs
 
+    # Exposed so the trial-deadline guard (swifi/parallel.py) can heal
+    # device memory after a timeout lands mid-replay.
+    runner.engine = engine
     return runner

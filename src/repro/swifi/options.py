@@ -1,0 +1,84 @@
+"""`CampaignOptions` — the single parameter object for campaign runs.
+
+Campaign execution grew knob by knob — worker counts, chunk sizes,
+differential replay, and now journaling, retries, and trial timeouts —
+and each knob was threaded separately through ``run_campaign``,
+``ExperimentScale``, and the CLI.  This module collapses them into one
+frozen, picklable dataclass: harnesses carry a ``CampaignOptions``,
+``ExperimentScale.campaign`` holds one, the CLI parses straight into
+one, and fork workers inherit the same object their parent planned
+with.
+
+The legacy keywords (``run_campaign(..., workers=4)``) still work as
+deprecated shims that build an options object; see
+:func:`repro.swifi.parallel.run_campaign`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.exec.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class CampaignOptions:
+    """Every execution knob of one SWIFI campaign.
+
+    Frozen so a preset can be shared between harnesses and forked
+    workers without defensive copying; derive variants with
+    :meth:`evolve`.
+    """
+
+    #: Worker processes (``1`` = in-process, ``"auto"`` = one per CPU;
+    #: see :func:`repro.exec.pool.resolve_workers`).
+    workers: Union[int, str, None] = 1
+    #: Campaign input seed (``HauberkProgram.campaign_io``).
+    seed: int = 0
+    #: Specs per worker chunk; ``None`` picks
+    #: :func:`repro.exec.pool.default_chunk_size`.
+    chunk_size: Optional[int] = None
+    #: Serve eligible trials via golden-run memoization + single-thread
+    #: replay (:mod:`repro.swifi.differential`).
+    differential: bool = True
+    #: Journal every classified trial under this directory (one
+    #: subdirectory per campaign fingerprint); existing records are
+    #: *not* reused — the campaign journal starts fresh.
+    run_dir: Optional[str] = None
+    #: Resume from (and keep journaling to) this directory: trials
+    #: already journaled for this campaign's fingerprint are replayed
+    #: instead of re-executed.  Takes precedence over ``run_dir``.
+    resume: Optional[str] = None
+    #: Worker-death handling (:class:`repro.exec.retry.RetryPolicy`);
+    #: ``RetryPolicy(max_deaths=0)`` restores strict crash surfacing.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-trial wall-clock budget in seconds; a trial exceeding it is
+    #: classified as a hang (the existing failure class).  ``None``
+    #: disables the deadline.
+    trial_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise ValueError(
+                f"trial_timeout must be positive, got {self.trial_timeout}"
+            )
+        if not isinstance(self.retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
+            )
+
+    @property
+    def journal_root(self) -> Optional[str]:
+        """Directory the campaign journals under, if any."""
+        return self.resume if self.resume is not None else self.run_dir
+
+    @property
+    def resuming(self) -> bool:
+        """Whether existing journal records should be replayed."""
+        return self.resume is not None
+
+    def evolve(self, **changes) -> "CampaignOptions":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return dataclasses.replace(self, **changes)

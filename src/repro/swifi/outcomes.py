@@ -25,6 +25,12 @@ class Outcome(enum.Enum):
     DETECTED_MASKED = "detected_masked"
     DETECTED = "detected"
     UNDETECTED = "undetected"
+    #: Operational (not fault-model) class: the spec repeatedly killed
+    #: its worker process and was quarantined by the retry engine
+    #: (:mod:`repro.exec.retry`) so the campaign could complete.  Never
+    #: produced by :func:`classify_outcome` — only the quarantine path
+    #: assigns it.
+    WORKER_KILLED = "worker_killed"
 
 
 def classify_outcome(failure: bool, detected: bool, output_ok: bool) -> Outcome:

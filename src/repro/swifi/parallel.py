@@ -1,10 +1,11 @@
-"""Parallel campaign execution: shard trials across warm worker processes.
+"""Campaign execution engine: parallel, fault-tolerant, resumable.
 
 The paper's measurement apparatus runs ~10,000 single-fault experiments
 per application (Section VIII); every trial is an independent program
 execution, which makes campaigns embarrassingly parallel.  This module
-shards a campaign's :class:`~repro.swifi.faultmodel.FaultSpec` list
-into chunks over a ``fork``-based worker pool:
+is the single entry point every campaign-driven harness uses —
+:func:`run_campaign` with a :class:`~repro.swifi.options.CampaignOptions`
+— and composes four layers:
 
 * **Warm per-worker caches** — each worker process inherits the
   parent's :class:`~repro.core.program.HauberkProgram` through ``fork``
@@ -13,26 +14,43 @@ into chunks over a ``fork``-based worker pool:
   and the golden output are all constructed (or cache-hit) before the
   first trial, then reused for every chunk the worker executes.
 * **Deterministic merge** — workers return serialized per-trial
-  observations plus their local :class:`~repro.swifi.outcomes.OutcomeCounts`,
-  metrics snapshot, and captured trace records; the parent replays the
-  observations *in original spec order* through the same
-  :func:`~repro.swifi.campaign.absorb_trial` helper the serial loop
-  uses.  ``CampaignResult`` (trial order, tallies, ``summary()``) is
-  therefore bit-identical for any worker count.
-* **Crash surfacing** — a worker that dies hard raises
-  :class:`~repro.errors.InjectionError` on the parent instead of
-  hanging the campaign; exceptions raised *inside* a trial propagate
-  unchanged, exactly like the serial path.
+  observations plus their local tallies, metrics snapshot, and captured
+  trace records; the parent absorbs every observation *in original spec
+  order* through the same :func:`~repro.swifi.campaign.absorb_trial`
+  helper the serial loop uses.  ``CampaignResult`` (trial order,
+  tallies, ``summary()``) is therefore bit-identical for any worker
+  count, any chunk fragmentation the retry layer produced, and any
+  journal-replay split.
+* **Fault tolerance** — a dead worker no longer aborts the campaign:
+  its in-flight chunks are split and retried on fresh pools with
+  exponential backoff (:mod:`repro.exec.retry`); a spec that keeps
+  killing workers is quarantined into the result as a
+  :data:`~repro.swifi.outcomes.Outcome.WORKER_KILLED` trial with a
+  structured :class:`~repro.swifi.campaign.QuarantineReport`.  A
+  per-trial wall-clock deadline (``options.trial_timeout``) degrades
+  hung trials to the existing hang classification.
+  ``RetryPolicy(max_deaths=0)`` restores strict crash surfacing
+  (:class:`~repro.errors.InjectionError` on the parent).
+* **Durable journal / resume** — with ``options.run_dir`` every
+  classified trial is appended to a JSONL journal the moment its chunk
+  lands (:mod:`repro.swifi.journal`); with ``options.resume`` the
+  journaled trials are *replayed* through ``absorb_trial`` instead of
+  re-executed, so a killed-and-resumed campaign produces a result
+  bit-identical to an uninterrupted one.
 
-``workers=1`` (or a platform without ``fork``) short-circuits to the
-existing in-process :class:`~repro.swifi.campaign.Campaign` path.
+``workers=1`` (or a platform without ``fork``) short-circuits to an
+in-process loop with the same journal/timeout semantics; exceptions
+raised *inside* a trial propagate unchanged on both paths.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING,
+)
 
 from repro.errors import InjectionError
 from repro.exec.pool import (
@@ -42,16 +60,33 @@ from repro.exec.pool import (
     fork_available,
     resolve_workers,
 )
+from repro.exec.retry import TrialTimeout, map_resilient, trial_deadline
 from repro.obs.events import RingBufferSink, Tracer, get_tracer, set_tracer, use_tracer
-from repro.obs.instrument import record_campaign, record_parallel_campaign
+from repro.obs.instrument import (
+    record_campaign,
+    record_journal_activity,
+    record_parallel_campaign,
+    record_quarantine,
+    record_retry_round,
+    record_trial_timeout,
+    record_worker_death,
+)
 from repro.obs.metrics import fresh_registry, get_registry
 from repro.swifi.campaign import (
-    Campaign,
     CampaignResult,
+    QuarantineReport,
     TrialObservation,
+    absorb_quarantined,
     absorb_trial,
 )
 from repro.swifi.faultmodel import FaultSpec
+from repro.swifi.journal import (
+    CampaignJournal,
+    JournalRecord,
+    campaign_fingerprint,
+    spec_fingerprint,
+)
+from repro.swifi.options import CampaignOptions
 from repro.swifi.outcomes import Outcome, OutcomeCounts, classify_outcome
 
 if TYPE_CHECKING:  # avoid a runtime import cycle with repro.core.program
@@ -61,15 +96,20 @@ if TYPE_CHECKING:  # avoid a runtime import cycle with repro.core.program
 #: when the parent tracer is enabled).
 WORKER_TRACE_CAPACITY = 8192
 
+#: Sentinel distinguishing "keyword not passed" from any real value in
+#: the deprecated ``run_campaign`` keyword shims.
+_UNSET = object()
+
 
 @dataclass
 class ChunkResult:
-    """Everything one worker ships back for one chunk of specs."""
+    """Everything one worker ships back for one chunk of work items."""
 
+    #: Global spec index of the chunk's first item (stable chunk id).
     index: int
     observations: List[TrialObservation]
     #: Outcome values the worker classified (parent re-derives its own;
-    #: kept for chunk-span attribution and cross-checking).
+    #: kept for journaling, chunk-span attribution, and cross-checking).
     outcomes: List[str]
     counts: OutcomeCounts
     #: ``MetricsRegistry.as_dict()`` snapshot of the worker-side metrics
@@ -105,14 +145,47 @@ def _make_runner(program, mode, seed, differential):
     return program.trial_runner(mode, seed)
 
 
-def _init_worker(program, mode, seed, runner_factory, capture_trace,
-                 differential) -> None:
+def _guarded_runner(runner, timeout: Optional[float]):
+    """Wrap a trial runner in the per-trial wall-clock deadline.
+
+    A trial that exceeds ``timeout`` seconds is degraded to the
+    existing hang classification (``failure=True`` → ``FAILURE``) —
+    the same class the watchdog budget assigns to in-model hangs.  The
+    differential engine's device-memory state is healed first (the
+    interrupt may have landed mid-replay, between the golden-store undo
+    and its reapply).
+    """
+    if not timeout:
+        return runner
+
+    def guarded(spec):
+        try:
+            with trial_deadline(timeout):
+                return runner(spec)
+        except TrialTimeout as exc:
+            engine = getattr(runner, "engine", None)
+            if engine is not None:
+                engine.restore_memory()
+            record_trial_timeout()
+            return TrialObservation(
+                failure=True, detected=False, output_ok=False,
+                activated=False, note=f"hang: {exc}",
+            )
+
+    return guarded
+
+
+def _init_worker(program, mode, options: CampaignOptions, runner_factory,
+                 capture_trace) -> None:
     """Pool initializer: warm this worker's caches exactly once.
 
     Runs in the child right after ``fork``.  The inherited tracer is
     detached first so workers never write into the parent's trace sink
     (a shared open file under ``--trace``); metrics start from a fresh
-    registry so the parent can merge clean per-worker snapshots.
+    registry so the parent can merge clean per-worker snapshots.  The
+    :class:`CampaignOptions` object arrives through the forked address
+    space, so the worker executes with exactly the options the parent
+    planned with (seed, differential, trial timeout).
     """
     global _STATE
     set_tracer(None)
@@ -122,13 +195,15 @@ def _init_worker(program, mode, seed, runner_factory, capture_trace,
     else:
         build = program.build(mode)
         program.runtime.prepare(build.kernel)
-        runner = _make_runner(program, mode, seed, differential)
-    _STATE = _WorkerState(runner=runner, capture_trace=capture_trace)
+        runner = _make_runner(program, mode, options.seed, options.differential)
+    _STATE = _WorkerState(
+        runner=_guarded_runner(runner, options.trial_timeout),
+        capture_trace=capture_trace,
+    )
 
 
-def _run_chunk(payload) -> ChunkResult:
-    """Execute one chunk of specs against this worker's warm runner."""
-    index, specs = payload
+def _run_chunk(items) -> ChunkResult:
+    """Execute one chunk of ``(index, spec)`` items on this worker."""
     state = _STATE
     if state is None:
         raise InjectionError("campaign worker used before initialization")
@@ -138,7 +213,7 @@ def _run_chunk(payload) -> ChunkResult:
     counts = OutcomeCounts()
 
     def execute() -> None:
-        for spec in specs:
+        for _index, spec in items:
             obs = state.runner(spec)
             outcome = classify_outcome(obs.failure, obs.detected, obs.output_ok)
             counts.add(outcome)
@@ -154,7 +229,7 @@ def _run_chunk(payload) -> ChunkResult:
     else:
         execute()
     return ChunkResult(
-        index=index,
+        index=items[0][0] if items else -1,
         observations=observations,
         outcomes=outcomes,
         counts=counts,
@@ -164,42 +239,105 @@ def _run_chunk(payload) -> ChunkResult:
     )
 
 
-def run_campaign(
-    program: Optional["HauberkProgram"],
-    specs: Iterable[FaultSpec],
-    mode: str = "fi",
-    *,
-    workers: int = 1,
-    seed: int = 0,
-    chunk_size: Optional[int] = None,
-    runner_factory: Optional[Callable[[], Callable]] = None,
-    differential: bool = True,
+# -- options / journal plumbing -------------------------------------------
+
+
+def _coerce_options(options: Optional[CampaignOptions],
+                    legacy: Dict[str, Any]) -> CampaignOptions:
+    """Fold the deprecated per-knob keywords into a CampaignOptions."""
+    supplied = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if not supplied:
+        return options if options is not None else CampaignOptions()
+    if options is not None:
+        raise TypeError(
+            "run_campaign: pass either options=CampaignOptions(...) or the "
+            f"legacy keyword(s) {sorted(supplied)}, not both"
+        )
+    warnings.warn(
+        f"run_campaign keyword(s) {sorted(supplied)} are deprecated; pass "
+        "options=CampaignOptions(...) instead",
+        DeprecationWarning, stacklevel=3,
+    )
+    return CampaignOptions(**supplied)
+
+
+def _open_journal(
+    program, spec_list, mode, options: CampaignOptions,
+) -> Tuple[Optional[CampaignJournal], Dict[int, JournalRecord]]:
+    """Open the campaign journal and index its replayable records."""
+    root = options.journal_root
+    if root is None:
+        return None, {}
+    fingerprint, meta = campaign_fingerprint(
+        program, spec_list, mode, options.seed
+    )
+    journal = CampaignJournal.open(
+        root, fingerprint, meta, resume=options.resuming
+    )
+    replayed: Dict[int, JournalRecord] = {}
+    for i, spec in enumerate(spec_list):
+        record = journal.match(i, spec_fingerprint(spec))
+        if record is not None:
+            replayed[i] = record
+    return journal, replayed
+
+
+def _absorb_replayed(result, spec, record: JournalRecord, tracer) -> None:
+    """Merge one journaled trial exactly as the live path would have."""
+    if record.observation is None:
+        absorb_quarantined(result, record.to_report(spec), tracer)
+    else:
+        absorb_trial(result, spec, record.observation, tracer)
+
+
+# -- execution paths -------------------------------------------------------
+
+
+def _run_serial(
+    program, spec_list, mode, options: CampaignOptions, runner_factory,
+    journal, replayed,
 ) -> CampaignResult:
-    """Run one FI campaign over ``specs``, optionally across processes.
+    """In-process path: journal-aware, deadline-guarded trial loop.
 
-    The shared entry point for every campaign-driven harness.  With
-    ``workers <= 1`` this is exactly ``Campaign(program.trial_runner(
-    mode, seed)).run(specs)``; with more workers the specs are chunked
-    across a fork pool and merged deterministically, so the returned
-    :class:`CampaignResult` is identical for any worker count.
-
-    ``differential`` (default on) serves eligible trials via golden-run
-    memoization + single-thread replay (:mod:`repro.swifi.differential`)
-    with automatic per-trial fallback to full execution; observations
-    are identical either way, so this composes with any worker count.
-
-    ``runner_factory`` overrides ``program.trial_runner`` (used by
-    tests to exercise the pool without a full program; the factory is
-    called once per worker, inside the worker).
+    The runner is built lazily so a fully-journaled resume absorbs its
+    records without constructing (or golden-running) the program at
+    all.
     """
-    spec_list = list(specs)
-    n_workers = resolve_workers(workers)
-    n_workers = min(n_workers, max(1, len(spec_list)))
-    if n_workers <= 1 or not fork_available():
-        runner = runner_factory() if runner_factory is not None else \
-            _make_runner(program, mode, seed, differential)
-        return Campaign(runner).run(spec_list)
+    runner = None
 
+    def get_runner():
+        nonlocal runner
+        if runner is None:
+            base = runner_factory() if runner_factory is not None else \
+                _make_runner(program, mode, options.seed, options.differential)
+            runner = _guarded_runner(base, options.trial_timeout)
+        return runner
+
+    result = CampaignResult()
+    tracer = get_tracer()
+    with tracer.span(
+        "swifi.campaign", workers=1, planned_trials=len(spec_list),
+        replayed=len(replayed),
+    ) as span:
+        for i, spec in enumerate(spec_list):
+            record = replayed.get(i)
+            if record is not None:
+                _absorb_replayed(result, spec, record, tracer)
+                continue
+            obs = get_runner()(spec)
+            outcome = absorb_trial(result, spec, obs, tracer)
+            if journal is not None:
+                journal.append_trial(i, spec, outcome.value, obs)
+        record_campaign(result)
+        span.set(**result.summary())
+    return result
+
+
+def _run_pooled(
+    program, spec_list, pending, mode, options: CampaignOptions,
+    runner_factory, journal, replayed, n_workers,
+) -> CampaignResult:
+    """Fork-pool path: resilient chunk map, then ordered merge."""
     if runner_factory is None:
         # Warm the parent before forking: the translated build, the
         # compiled kernel, the campaign input/golden, and (under
@@ -209,42 +347,62 @@ def run_campaign(
         # parent-side.
         build = program.build(mode)
         program.runtime.prepare(build.kernel)
-        _make_runner(program, mode, seed, differential)
+        _make_runner(program, mode, options.seed, options.differential)
 
     tracer = get_tracer()
-    size = chunk_size if chunk_size is not None else \
-        default_chunk_size(len(spec_list), n_workers)
-    slices = chunk_slices(len(spec_list), size)
-    record_parallel_campaign(n_workers, len(slices))
+    size = options.chunk_size if options.chunk_size is not None else \
+        default_chunk_size(len(pending), n_workers)
+    record_parallel_campaign(n_workers, len(chunk_slices(len(pending), size)))
 
     pool = ForkPool(
         n_workers,
         initializer=_init_worker,
-        initargs=(program, mode, seed, runner_factory, tracer.enabled,
-                  differential),
+        initargs=(program, mode, options, runner_factory, tracer.enabled),
         crash_error=InjectionError,
     )
-    payloads = [(i, spec_list[a:b]) for i, (a, b) in enumerate(slices)]
+
+    def on_result(chunk_items, chunk: ChunkResult) -> None:
+        # journal the moment a chunk lands — durability must not wait
+        # for the campaign (or the process) to finish
+        if len(chunk.observations) != len(chunk_items):
+            raise InjectionError(
+                f"chunk {chunk.index} returned {len(chunk.observations)} "
+                f"trials, expected {len(chunk_items)}"
+            )
+        if journal is not None:
+            for (idx, spec), obs, outcome in zip(
+                chunk_items, chunk.observations, chunk.outcomes
+            ):
+                journal.append_trial(idx, spec, outcome, obs)
+
+    def on_event(kind: str, **attrs: Any) -> None:
+        if kind == "worker_death":
+            record_worker_death(attrs.get("phase", ""),
+                                attrs.get("failed_chunks", 1))
+            tracer.event("swifi.worker_death", **attrs)
+        elif kind == "retry":
+            record_retry_round()
+            tracer.event("swifi.retry", **attrs)
 
     result = CampaignResult()
     with tracer.span(
-        "swifi.campaign", workers=n_workers, chunks=len(slices),
-        chunk_size=size, planned_trials=len(spec_list),
+        "swifi.campaign", workers=n_workers, chunk_size=size,
+        planned_trials=len(spec_list), replayed=len(replayed),
     ) as span:
-        chunk_results = pool.map_ordered(_run_chunk, payloads)
+        completed, dead = map_resilient(
+            pool, _run_chunk, pending, size, options.retry,
+            on_event=on_event, on_result=on_result,
+        )
+
         registry = get_registry()
-        for (a, b), chunk in zip(slices, chunk_results):
-            if len(chunk.observations) != b - a:
-                raise InjectionError(
-                    f"chunk {chunk.index} returned {len(chunk.observations)} "
-                    f"trials, expected {b - a}"
-                )
+        obs_by_index: Dict[int, TrialObservation] = {}
+        for chunk_items, chunk in sorted(completed, key=lambda pair: pair[1].index):
             with tracer.span(
-                "swifi.chunk", chunk=chunk.index, start=a, size=b - a,
+                "swifi.chunk", chunk=chunk.index, size=len(chunk_items),
                 worker_pid=chunk.worker_pid,
             ) as cspan:
-                for spec, obs in zip(spec_list[a:b], chunk.observations):
-                    absorb_trial(result, spec, obs, tracer)
+                for (idx, _spec), obs in zip(chunk_items, chunk.observations):
+                    obs_by_index[idx] = obs
                 registry.merge_dict(chunk.metrics)
                 for record in chunk.trace_records:
                     tracer.event(
@@ -253,6 +411,97 @@ def run_campaign(
                 cspan.set(
                     outcomes={o.value: chunk.counts.counts[o] for o in Outcome}
                 )
+
+        quarantines: Dict[int, QuarantineReport] = {}
+        for death in dead:
+            idx, spec = death.item
+            report = QuarantineReport(
+                spec=spec, index=idx, deaths=death.deaths,
+                rounds=death.round_no, note=death.note,
+            )
+            quarantines[idx] = report
+            record_quarantine()
+            if journal is not None:
+                journal.append_quarantine(report)
+
+        # the deterministic merge: original spec order, one absorb per
+        # spec, regardless of which path (journal, chunk, quarantine)
+        # produced it
+        for i, spec in enumerate(spec_list):
+            record = replayed.get(i)
+            if record is not None:
+                _absorb_replayed(result, spec, record, tracer)
+            elif i in quarantines:
+                absorb_quarantined(result, quarantines[i], tracer)
+            else:
+                absorb_trial(result, spec, obs_by_index[i], tracer)
         record_campaign(result)
         span.set(**result.summary())
     return result
+
+
+def run_campaign(
+    program: Optional["HauberkProgram"],
+    specs: Iterable[FaultSpec],
+    mode: str = "fi",
+    options: Optional[CampaignOptions] = None,
+    *,
+    runner_factory: Optional[Callable[[], Callable]] = None,
+    workers: Any = _UNSET,
+    seed: Any = _UNSET,
+    chunk_size: Any = _UNSET,
+    differential: Any = _UNSET,
+) -> CampaignResult:
+    """Run one FI campaign over ``specs`` under ``options``.
+
+    The shared entry point for every campaign-driven harness.  All
+    execution knobs live on :class:`~repro.swifi.options.CampaignOptions`
+    (workers, seed, chunking, differential replay, journal/resume
+    directories, retry policy, trial timeout); the old per-knob
+    keywords (``workers=``, ``seed=``, ``chunk_size=``,
+    ``differential=``) still work as deprecated shims that build an
+    options object.
+
+    Guarantees, for any worker count and chunk size:
+
+    * the returned :class:`CampaignResult` is bit-identical to the
+      serial in-process run;
+    * with ``options.run_dir`` every classified trial is durably
+      journaled as soon as it exists, and with ``options.resume`` the
+      journaled prefix is replayed instead of re-executed —
+      killed-and-resumed equals uninterrupted;
+    * a worker-killing spec is retried per ``options.retry`` and, on
+      repeated death, quarantined as a ``WorkerKilled`` trial instead
+      of aborting the campaign (``RetryPolicy(max_deaths=0)`` restores
+      the strict crash-surfacing behaviour).
+
+    ``runner_factory`` overrides ``program.trial_runner`` (used by
+    tests to exercise the pool without a full program; the factory is
+    called once per worker, inside the worker).
+    """
+    options = _coerce_options(options, {
+        "workers": workers, "seed": seed, "chunk_size": chunk_size,
+        "differential": differential,
+    })
+    spec_list = list(specs)
+    journal, replayed = _open_journal(program, spec_list, mode, options)
+    try:
+        pending = [(i, spec) for i, spec in enumerate(spec_list)
+                   if i not in replayed]
+        if journal is not None:
+            record_journal_activity(replayed=len(replayed))
+        n_workers = resolve_workers(options.workers)
+        n_workers = min(n_workers, max(1, len(pending)))
+        if n_workers <= 1 or not fork_available():
+            return _run_serial(
+                program, spec_list, mode, options, runner_factory,
+                journal, replayed,
+            )
+        return _run_pooled(
+            program, spec_list, pending, mode, options, runner_factory,
+            journal, replayed, n_workers,
+        )
+    finally:
+        if journal is not None:
+            record_journal_activity(appended=journal.appended)
+            journal.close()

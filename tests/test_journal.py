@@ -1,0 +1,336 @@
+"""Durable journal and resume tests: crash-tolerant campaign state.
+
+The contract under test (``repro.swifi.journal`` + ``run_campaign``):
+every classified trial is durably journaled the moment it exists, and a
+campaign killed mid-run and resumed with ``CampaignOptions(resume=dir)``
+produces a :class:`CampaignResult` bit-identical to an uninterrupted
+run — for any worker count and with differential replay on or off.
+Interruption is simulated by truncating the journal to a prefix, which
+is exactly the state a ``SIGKILL`` leaves behind (plus, in the torn-tail
+tests, half a record).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.program import HauberkProgram
+from repro.errors import InjectionError
+from repro.exec import RetryPolicy, fork_available
+from repro.swifi import (
+    CampaignJournal,
+    CampaignOptions,
+    FaultSpec,
+    Outcome,
+    campaign_fingerprint,
+    run_campaign,
+    spec_fingerprint,
+)
+from repro.swifi.campaign import TrialObservation
+
+from test_parallel_campaign import TinyWorkload, _tiny_specs
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
+)
+
+FAST_RETRY = RetryPolicy(max_deaths=2, backoff_base=0.001, backoff_max=0.002)
+
+
+def _journal_path(root) -> str:
+    (entry,) = [d for d in os.listdir(root)
+                if os.path.isdir(os.path.join(root, d))]
+    return os.path.join(root, entry, "journal.jsonl")
+
+
+def _truncate_journal(root, keep: int) -> None:
+    """Keep the first ``keep`` records — the state a kill leaves behind."""
+    path = _journal_path(root)
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.readlines()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.writelines(lines[:keep])
+
+
+def _assert_identical(a, b):
+    assert a.summary() == b.summary()
+    assert [t.outcome for t in a.trials] == [t.outcome for t in b.trials]
+    assert [t.observation for t in a.trials] == \
+        [t.observation for t in b.trials]
+    assert [t.spec for t in a.trials] == [t.spec for t in b.trials]
+
+
+# -- fingerprints ---------------------------------------------------------
+
+
+class TestFingerprints:
+    def test_spec_fingerprint_stable_and_sensitive(self):
+        spec = FaultSpec(site=3, mask=5, thread=1, occurrence=2)
+        assert spec_fingerprint(spec) == spec_fingerprint(spec)
+        other = FaultSpec(site=3, mask=5, thread=1, occurrence=3)
+        assert spec_fingerprint(spec) != spec_fingerprint(other)
+
+    def test_campaign_fingerprint_covers_plan_and_seed(self):
+        wl, specs = _tiny_specs()
+        prog = HauberkProgram(wl)
+        fp1, meta = campaign_fingerprint(prog, specs, "fi", 0)
+        fp2, _ = campaign_fingerprint(HauberkProgram(TinyWorkload()),
+                                      specs, "fi", 0)
+        assert fp1 == fp2  # same ingredients, same fingerprint
+        assert meta["components"]["workload"] == "TINY"
+        fp3, _ = campaign_fingerprint(prog, specs, "fi", 1)
+        assert fp3 != fp1  # seed participates
+        fp4, _ = campaign_fingerprint(prog, specs[:-1], "fi", 0)
+        assert fp4 != fp1  # plan participates
+
+    def test_runner_campaigns_fingerprint_plan_only(self):
+        specs = [FaultSpec(site=1, mask=1, thread=0, occurrence=1)]
+        fp, meta = campaign_fingerprint(None, specs, "fi", 0)
+        assert meta["components"]["workload"] == "<runner>"
+        assert fp
+
+
+# -- journal mechanics ----------------------------------------------------
+
+
+class TestJournalMechanics:
+    def test_campaign_writes_one_record_per_trial(self, tmp_path):
+        wl, specs = _tiny_specs(masks_per_site=1)
+        root = str(tmp_path / "runs")
+        run_campaign(HauberkProgram(wl), specs, mode="fi",
+                     options=CampaignOptions(workers=1, run_dir=root))
+        with open(_journal_path(root), encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh]
+        assert len(records) == len(specs)
+        assert sorted(r["i"] for r in records) == list(range(len(specs)))
+        assert all(r["dg"] for r in records)
+
+    def test_meta_json_written(self, tmp_path):
+        wl, specs = _tiny_specs(masks_per_site=1)
+        root = str(tmp_path / "runs")
+        run_campaign(HauberkProgram(wl), specs, mode="fi",
+                     options=CampaignOptions(workers=1, run_dir=root))
+        meta_path = os.path.join(os.path.dirname(_journal_path(root)),
+                                 "meta.json")
+        meta = json.loads(open(meta_path, encoding="utf-8").read())
+        fp, _ = campaign_fingerprint(
+            HauberkProgram(TinyWorkload()), specs, "fi", 0
+        )
+        assert meta["fingerprint"] == fp
+
+    def test_run_dir_without_resume_truncates(self, tmp_path):
+        wl, specs = _tiny_specs(masks_per_site=1)
+        root = str(tmp_path / "runs")
+        options = CampaignOptions(workers=1, run_dir=root)
+        run_campaign(HauberkProgram(wl), specs, mode="fi", options=options)
+        run_campaign(HauberkProgram(TinyWorkload()), specs, mode="fi",
+                     options=options)
+        with open(_journal_path(root), encoding="utf-8") as fh:
+            assert len(fh.readlines()) == len(specs)  # not doubled
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        directory = tmp_path / "runs" / "feedfeedfeedfeed"
+        directory.mkdir(parents=True)
+        (directory / "meta.json").write_text(
+            json.dumps({"fingerprint": "something-else"}), encoding="utf-8"
+        )
+        with pytest.raises(InjectionError, match="fingerprint mismatch"):
+            CampaignJournal.open(
+                str(tmp_path / "runs"), "feedfeedfeedfeed" + "0" * 48,
+                {"fingerprint": "x"}, resume=True,
+            )
+
+    def test_torn_tail_line_is_dropped(self, tmp_path):
+        wl, specs = _tiny_specs(masks_per_site=1)
+        root = str(tmp_path / "runs")
+        run_campaign(HauberkProgram(wl), specs, mode="fi",
+                     options=CampaignOptions(workers=1, run_dir=root))
+        path = _journal_path(root)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        # a kill mid-write leaves half a record; a flipped byte leaves a
+        # syntactically valid record with a digest mismatch
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[:3])
+            fh.write(lines[3][: len(lines[3]) // 2])
+        resumed = run_campaign(
+            HauberkProgram(TinyWorkload()), specs, mode="fi",
+            options=CampaignOptions(workers=1, resume=root),
+        )
+        baseline = run_campaign(HauberkProgram(TinyWorkload()), specs,
+                                mode="fi", options=CampaignOptions(workers=1))
+        _assert_identical(resumed, baseline)
+
+    def test_digest_mismatch_line_is_dropped(self, tmp_path):
+        wl, specs = _tiny_specs(masks_per_site=1)
+        root = str(tmp_path / "runs")
+        run_campaign(HauberkProgram(wl), specs, mode="fi",
+                     options=CampaignOptions(workers=1, run_dir=root))
+        path = _journal_path(root)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        corrupted = json.loads(lines[0])
+        corrupted["outcome"] = "masked" \
+            if corrupted["outcome"] != "masked" else "undetected"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(corrupted) + "\n")
+            fh.writelines(lines[1:])
+        resumed = run_campaign(
+            HauberkProgram(TinyWorkload()), specs, mode="fi",
+            options=CampaignOptions(workers=1, resume=root),
+        )
+        baseline = run_campaign(HauberkProgram(TinyWorkload()), specs,
+                                mode="fi", options=CampaignOptions(workers=1))
+        _assert_identical(resumed, baseline)  # record re-executed, not trusted
+
+
+# -- kill/resume parity ---------------------------------------------------
+
+
+class TestResumeParity:
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("differential", [False, True])
+    def test_killed_and_resumed_equals_uninterrupted(
+        self, tmp_path, workers, differential
+    ):
+        if workers > 1 and not fork_available():
+            pytest.skip("requires the fork start method")
+        wl, specs = _tiny_specs()
+        baseline = run_campaign(
+            HauberkProgram(wl), specs, mode="fi",
+            options=CampaignOptions(workers=workers,
+                                    differential=differential),
+        )
+        root = str(tmp_path / "runs")
+        run_campaign(
+            HauberkProgram(TinyWorkload()), specs, mode="fi",
+            options=CampaignOptions(workers=workers,
+                                    differential=differential, run_dir=root),
+        )
+        _truncate_journal(root, keep=len(specs) // 2)  # the "kill"
+        resumed = run_campaign(
+            HauberkProgram(TinyWorkload()), specs, mode="fi",
+            options=CampaignOptions(workers=workers,
+                                    differential=differential, resume=root),
+        )
+        _assert_identical(resumed, baseline)
+
+    def test_resume_skips_journaled_trials(self, tmp_path):
+        specs = [FaultSpec(site=s, mask=1, thread=0, occurrence=1)
+                 for s in range(6)]
+        root = str(tmp_path / "runs")
+        executed = []
+
+        def factory():
+            def runner(spec):
+                executed.append(spec.site)
+                return TrialObservation(
+                    failure=False, detected=False, output_ok=True,
+                    activated=True,
+                )
+
+            return runner
+
+        run_campaign(None, specs, runner_factory=factory,
+                     options=CampaignOptions(workers=1, run_dir=root))
+        assert executed == list(range(6))
+        _truncate_journal(root, keep=4)
+        executed.clear()
+        resumed = run_campaign(None, specs, runner_factory=factory,
+                               options=CampaignOptions(workers=1, resume=root))
+        assert executed == [4, 5]  # journaled prefix replayed, not re-run
+        assert resumed.summary()["trials"] == 6
+
+    def test_fully_journaled_resume_executes_nothing(self, tmp_path):
+        specs = [FaultSpec(site=s, mask=1, thread=0, occurrence=1)
+                 for s in range(4)]
+        root = str(tmp_path / "runs")
+
+        def factory():
+            def runner(spec):
+                return TrialObservation(
+                    failure=False, detected=True, output_ok=False,
+                    activated=True,
+                )
+
+            return runner
+
+        first = run_campaign(None, specs, runner_factory=factory,
+                             options=CampaignOptions(workers=1, run_dir=root))
+
+        def exploding_factory():
+            def runner(spec):
+                raise AssertionError("resume should not execute trials")
+
+            return runner
+
+        resumed = run_campaign(
+            None, specs, runner_factory=exploding_factory,
+            options=CampaignOptions(workers=1, resume=root),
+        )
+        _assert_identical(resumed, first)
+
+    @needs_fork
+    def test_quarantine_records_replay_on_resume(self, tmp_path):
+        import test_retry
+
+        specs = [FaultSpec(site=s, mask=1, thread=0, occurrence=1)
+                 for s in (1, 666, 3)]
+        root = str(tmp_path / "runs")
+        first = run_campaign(
+            None, specs,
+            runner_factory=test_retry._selective_crash_factory,
+            options=CampaignOptions(workers=2, chunk_size=1,
+                                    retry=FAST_RETRY, run_dir=root),
+        )
+        assert first.summary()["quarantined"] == 1
+
+        def healthy_factory():
+            def runner(spec):
+                raise AssertionError("resume should not execute trials")
+
+            return runner
+
+        resumed = run_campaign(
+            None, specs, runner_factory=healthy_factory,
+            options=CampaignOptions(workers=2, chunk_size=1,
+                                    retry=FAST_RETRY, resume=root),
+        )
+        _assert_identical(resumed, first)
+        assert resumed.trials[1].outcome is Outcome.WORKER_KILLED
+        assert resumed.quarantined[0].index == 1
+        assert resumed.quarantined[0].deaths == first.quarantined[0].deaths
+
+    @needs_fork
+    def test_resume_across_worker_counts(self, tmp_path):
+        # journal written by a serial run, resumed by a pooled one
+        wl, specs = _tiny_specs()
+        baseline = run_campaign(HauberkProgram(wl), specs, mode="fi",
+                                options=CampaignOptions(workers=1))
+        root = str(tmp_path / "runs")
+        run_campaign(
+            HauberkProgram(TinyWorkload()), specs, mode="fi",
+            options=CampaignOptions(workers=1, run_dir=root),
+        )
+        _truncate_journal(root, keep=len(specs) - 3)
+        resumed = run_campaign(
+            HauberkProgram(TinyWorkload()), specs, mode="fi",
+            options=CampaignOptions(workers=4, resume=root),
+        )
+        _assert_identical(resumed, baseline)
+
+    def test_resume_journal_becomes_complete(self, tmp_path):
+        wl, specs = _tiny_specs(masks_per_site=1)
+        root = str(tmp_path / "runs")
+        run_campaign(HauberkProgram(wl), specs, mode="fi",
+                     options=CampaignOptions(workers=1, run_dir=root))
+        _truncate_journal(root, keep=2)
+        run_campaign(HauberkProgram(TinyWorkload()), specs, mode="fi",
+                     options=CampaignOptions(workers=1, resume=root))
+        with open(_journal_path(root), encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh]
+        # the resumed run appended exactly the missing records
+        assert sorted(r["i"] for r in records) == list(range(len(specs)))

@@ -23,7 +23,14 @@ from repro.exec import (
 )
 from repro.kir.types import DType
 from repro.obs.metrics import MetricsRegistry, fresh_registry
-from repro.swifi import FaultSpec, build_fault_specs, enumerate_targets, run_campaign
+from repro.exec import RetryPolicy
+from repro.swifi import (
+    CampaignOptions,
+    FaultSpec,
+    build_fault_specs,
+    enumerate_targets,
+    run_campaign,
+)
 from repro.workloads.base import BufferSpec, Workload, WorkloadInput
 
 needs_fork = pytest.mark.skipif(
@@ -173,10 +180,13 @@ def _raising_runner_factory():
 class TestFailures:
     @needs_fork
     def test_worker_crash_raises_injection_error(self):
+        # strict mode (max_deaths=0) preserves the historical behaviour:
+        # a dead worker fails the whole campaign
         specs = [FaultSpec(site=0, mask=1, thread=0, occurrence=1)] * 8
+        options = CampaignOptions(workers=2, retry=RetryPolicy(max_deaths=0))
         with pytest.raises(InjectionError):
             run_campaign(
-                None, specs, workers=2,
+                None, specs, options=options,
                 runner_factory=_crashing_runner_factory,
             )
 
