@@ -27,6 +27,9 @@ class Checkpoint:
     scalars: Dict[str, object] = field(default_factory=dict)
     #: Opaque extra state (e.g. a ControlBlock) stored by deep copy.
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Raw device-memory words (a ``GlobalMemory.snapshot()`` ndarray),
+    #: captured at a kernel boundary; ``None`` when host-state only.
+    device_words: Optional[np.ndarray] = None
 
     @classmethod
     def capture(
@@ -35,12 +38,22 @@ class Checkpoint:
         arrays: Optional[Dict[str, np.ndarray]] = None,
         scalars: Optional[Dict[str, object]] = None,
         extra: Optional[Dict[str, object]] = None,
+        memory=None,
     ) -> "Checkpoint":
+        """Snapshot host state, plus device memory when ``memory`` is given.
+
+        ``memory`` is any object with a ``snapshot() -> np.ndarray``
+        (the GPU's :class:`~repro.gpu.memory.GlobalMemory`): the whole
+        allocated device state is captured as one vectorized ``uint32``
+        copy — raw bit patterns, so NaN payloads and denormals written
+        by the kernel survive a restore bit-exactly.
+        """
         return cls(
             tag=tag,
             arrays={k: np.array(v, copy=True) for k, v in (arrays or {}).items()},
             scalars=dict(scalars or {}),
             extra={k: copy.deepcopy(v) for k, v in (extra or {}).items()},
+            device_words=None if memory is None else memory.snapshot(),
         )
 
     def restore_arrays(self) -> Dict[str, np.ndarray]:
@@ -51,6 +64,18 @@ class Checkpoint:
         if key not in self.extra:
             raise RecoveryError(f"checkpoint {self.tag!r} has no extra {key!r}")
         return copy.deepcopy(self.extra[key])
+
+    def restore_device(self, memory) -> None:
+        """Write the captured device words back into ``memory``.
+
+        The memory's allocation layout must match the capture (the
+        guardian restores at the same kernel boundary it checkpointed).
+        """
+        if self.device_words is None:
+            raise RecoveryError(
+                f"checkpoint {self.tag!r} holds no device memory"
+            )
+        memory.restore(self.device_words)
 
 
 class CheckpointLibrary:

@@ -30,6 +30,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.core.bist import run_bist
+from repro.core.checkpoint import Checkpoint
 from repro.core.program import HauberkProgram, ProgramResult, RunStatus
 from repro.errors import RecoveryError, UnsupportedSoftwareError
 from repro.gpu.cluster import GPUNode
@@ -93,6 +94,38 @@ class FalsePositiveMonitor:
         if not self._history:
             return 0.0
         return sum(self._history) / len(self._history)
+
+
+class DeviceCheckpointer:
+    """CheCUDA-style device checkpointing for :meth:`Guardian.supervise`.
+
+    Bundles the ``checkpoint_fn`` / ``restore_fn`` pair the guardian
+    accepts: :meth:`checkpoint` captures the program's whole device
+    memory as one raw-bits ndarray snapshot (plus any registered host
+    extras, e.g. the control block), and :meth:`restore` writes it back
+    before a restart, so recovery resumes from the last kernel boundary
+    instead of re-running host setup.  Snapshot and restore are each a
+    single vectorized ``uint32`` copy of the allocated words — cheap
+    enough to take before every launch.
+    """
+
+    def __init__(self, program: HauberkProgram, extra_fn: Optional[Callable] = None):
+        self.program = program
+        #: Optional zero-arg callable returning a dict of extra host
+        #: state to deep-copy into each checkpoint.
+        self.extra_fn = extra_fn
+        self._count = 0
+
+    def checkpoint(self) -> Checkpoint:
+        self._count += 1
+        return Checkpoint.capture(
+            tag=f"kernel-boundary-{self._count}",
+            extra=self.extra_fn() if self.extra_fn is not None else None,
+            memory=self.program.device.memory,
+        )
+
+    def restore(self, checkpoint: Checkpoint) -> None:
+        checkpoint.restore_device(self.program.device.memory)
 
 
 class RecoveryEngine:

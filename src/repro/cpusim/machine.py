@@ -23,12 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.bits import bits_to_float, bits_to_int, float_to_bits, int_to_bits, wrap_i32
+from repro.bits import bits_to_float, bits_to_int, wrap_i32
 from repro.errors import (
     CPUIllegalInstruction,
     CPUSegmentationFault,
     CPUSimError,
 )
+from repro.memspace import WordReinterpret
 
 PAGE_WORDS = 256
 
@@ -141,8 +142,16 @@ def assemble(listing: List[Union[Tuple, str]]) -> List[int]:
     return words
 
 
-class PagedMemory:
-    """Word-addressed memory with page mapping and permissions."""
+class PagedMemory(WordReinterpret):
+    """Word-addressed memory with page mapping and permissions.
+
+    The word primitives enforce the page policy (mapped, permissions);
+    typed ``load_f32``/``store_i32``/... accessors come from
+    :class:`~repro.memspace.WordReinterpret` — the same reinterpretation
+    code the GPU's :class:`~repro.gpu.memory.GlobalMemory` specifies,
+    differing only in this bounds policy (the page-granularity checking
+    GPUs lack).
+    """
 
     def __init__(self) -> None:
         self.pages: Dict[int, List[int]] = {}
@@ -178,6 +187,13 @@ class PagedMemory:
 
     def store(self, addr: int, value: int) -> None:
         self._page(addr, "write")[addr % PAGE_WORDS] = value & 0xFFFFFFFF
+
+    # MemorySpace word primitives (data accesses, never exec)
+    def load_word(self, addr: int) -> int:
+        return self.load(addr)
+
+    def store_word(self, addr: int, bits: int) -> None:
+        self.store(addr, bits)
 
     def poke(self, addr: int, value: int) -> None:
         """Store ignoring permissions (loader / fault injector)."""
@@ -256,13 +272,13 @@ class CPUMachine:
         elif op == "ADDI":
             regs[rd] = wrap_i32(self._int(ra) + imm)
         elif op == "LD":
-            regs[rd] = bits_to_int(self.memory.load(self._int(ra) + imm))
+            regs[rd] = self.memory.load_i32(self._int(ra) + imm)
         elif op == "ST":
-            self.memory.store(self._int(ra) + imm, int_to_bits(self._int(rd)))
+            self.memory.store_i32(self._int(ra) + imm, self._int(rd))
         elif op == "FLD":
-            regs[rd] = bits_to_float(self.memory.load(self._int(ra) + imm))
+            regs[rd] = self.memory.load_f32(self._int(ra) + imm)
         elif op == "FST":
-            self.memory.store(self._int(ra) + imm, float_to_bits(float(regs[rd])))
+            self.memory.store_f32(self._int(ra) + imm, float(regs[rd]))
         elif op == "ADD":
             regs[rd] = wrap_i32(self._int(rd) + self._int(ra))
         elif op == "SUB":
@@ -317,9 +333,9 @@ class CPUMachine:
                 self.pc = imm & 0xFFFF
         elif op == "PUSH":
             self.sp -= 1
-            self.memory.store(self.sp, int_to_bits(self._int(ra)))
+            self.memory.store_i32(self.sp, self._int(ra))
         elif op == "POP":
-            regs[rd] = bits_to_int(self.memory.load(self.sp))
+            regs[rd] = self.memory.load_i32(self.sp)
             self.sp += 1
         elif op == "CALL":
             self.sp -= 1

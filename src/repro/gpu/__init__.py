@@ -9,10 +9,10 @@ detection — plus a cycle cost model so performance overheads (Figure
 """
 
 from repro.gpu.device import Device, DeviceSpec, GT200_SPEC
-from repro.gpu.memory import GlobalMemory, Allocation
+from repro.gpu.memory import GlobalMemory, Allocation, MemorySpace
 from repro.gpu.costmodel import CostModel
 from repro.gpu.runtime import GPURuntime, LaunchResult
-from repro.gpu.faults import FaultSite, hardware_components_of
+from repro.gpu.faults import FaultSite, hardware_components_of, inject_word_faults
 from repro.gpu.cluster import GPUNode
 
 __all__ = [
@@ -21,10 +21,12 @@ __all__ = [
     "GT200_SPEC",
     "GlobalMemory",
     "Allocation",
+    "MemorySpace",
     "CostModel",
     "GPURuntime",
     "LaunchResult",
     "FaultSite",
     "hardware_components_of",
+    "inject_word_faults",
     "GPUNode",
 ]

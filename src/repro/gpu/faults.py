@@ -10,13 +10,20 @@ focuses injections on core state).
 translator does: "the hardware components used are statically derived
 by analyzing the operation types, e.g. ALU and FPU for integer and FP
 expressions respectively".
+
+``inject_word_faults`` is the bulk memory-fault primitive: XOR error
+masks into device words as one vectorized operation against the
+``uint32`` backing array (multi-word burst faults, scrubbing studies).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import FrozenSet
+from typing import FrozenSet, Sequence, Tuple
 
+import numpy as np
+
+from repro.errors import DeviceMemoryError
 from repro.kir.astnodes import (
     BinOp,
     Call,
@@ -61,3 +68,37 @@ def hardware_components_of(expr: Expr) -> FrozenSet[FaultSite]:
         elif isinstance(node, (Load, SharedLoad)):
             sites.add(FaultSite.MEMORY)
     return frozenset(sites)
+
+
+def inject_word_faults(
+    memory, addrs: Sequence[int], masks: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """XOR error masks into many device words at once.
+
+    ``memory`` is a :class:`~repro.gpu.memory.GlobalMemory`; ``addrs``
+    and ``masks`` are parallel sequences.  Returns ``(old_bits,
+    new_bits)`` ``uint32`` arrays so callers can journal and undo the
+    corruption exactly.  Works on raw bit patterns: XOR into a
+    NaN-holding word perturbs exactly the masked payload bits.  Every
+    address is validated against the mapped range first — all-or-
+    nothing, matching the single-word
+    :meth:`~repro.gpu.memory.GlobalMemory.inject_word_fault`.
+    """
+    addr_arr = np.asarray(addrs, dtype=np.int64).reshape(-1)
+    mask_arr = np.asarray(masks, dtype=np.uint64).reshape(-1).astype(np.uint32)
+    if addr_arr.size != mask_arr.size:
+        raise DeviceMemoryError(
+            f"fault injection with {addr_arr.size} addresses "
+            f"but {mask_arr.size} masks"
+        )
+    if addr_arr.size == 0:
+        empty = np.empty(0, dtype=np.uint32)
+        return empty, empty
+    bad = (addr_arr < 0) | (addr_arr >= memory.mapped_end)
+    if bool(bad.any()):
+        addr = int(addr_arr[bad][0])
+        raise DeviceMemoryError(f"fault injection outside mapped memory: {addr}")
+    old_bits = memory.words[addr_arr].copy()
+    new_bits = old_bits ^ mask_arr
+    memory.words[addr_arr] = new_bits
+    return old_bits, new_bits

@@ -9,21 +9,40 @@ inside the mapped range silently reads/writes *another buffer's* data
 (an SDC path), and only addresses outside the mapped range crash the
 kernel.  Contrast with :mod:`repro.cpusim.machine`, which checks pages.
 
-Memory holds raw 32-bit words (bit patterns); typed accessors
-reinterpret on the way in/out, which is also where float64 interpreter
-values round through binary32 — matching data stored in real GDDR.
+Memory is one contiguous ``np.uint32`` array of raw 32-bit words (bit
+patterns) with zero-copy ``float32``/``int32`` dtype views; typed
+accessors reinterpret on the way in/out, which is also where float64
+interpreter values round through binary32 — matching data stored in
+real GDDR.  Keeping words as bit patterns (never Python floats) means
+NaN payloads, denormals, and -0.0 survive storage, snapshot, restore,
+and fault injection bit-exactly, and whole-state operations
+(``snapshot``/``restore``/``memcpy``/golden diffs) are single
+vectorized NumPy ops instead of per-word Python loops.
+
+All device-memory views here implement the
+:class:`~repro.memspace.MemorySpace` protocol, so the footprint
+recorder and the replay guard compose as layers over
+:class:`GlobalMemory` rather than ad-hoc look-alikes.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.bits import bits_to_float, bits_to_int, float_to_bits, int_to_bits
+from repro.bits import float_to_bits
 from repro.errors import DeviceMemoryError, GPUError
 from repro.kir.types import DType
+from repro.memspace import MemorySpace, WordReinterpret  # noqa: F401 (re-export)
+
+#: Largest finite binary32 magnitude: float64 values inside this bound
+#: cast to float32 without overflow, so the fast store path can write
+#: through the dtype view; anything else (±huge, NaN) takes the exact
+#: struct-based slow path.
+_F32_MAX = 3.4028234663852886e38
 
 
 @dataclass
@@ -43,15 +62,32 @@ class Allocation:
         return self.base <= addr < self.end
 
 
-class GlobalMemory:
-    """Word-addressed flat device memory with a bump allocator."""
+class GlobalMemory(WordReinterpret):
+    """Word-addressed flat device memory with a bump allocator.
+
+    The backing store is ``words`` (``np.uint32``); ``f32`` and ``i32``
+    are zero-copy reinterpreting views of the same buffer.  The four
+    :class:`~repro.memspace.MemorySpace` accessors override the
+    :class:`~repro.memspace.WordReinterpret` defaults with fast paths
+    reading/writing through those views (bit-identical semantics — the
+    word primitives remain the reference implementation).
+    """
 
     def __init__(self, capacity_words: int = 1 << 20):
         if capacity_words <= 0:
             raise GPUError(f"invalid memory capacity {capacity_words}")
         self.capacity = capacity_words
-        self.words: List[int] = [0] * capacity_words
+        #: Raw 32-bit word patterns — the single backing store.
+        self.words: np.ndarray = np.zeros(capacity_words, dtype=np.uint32)
+        #: Zero-copy binary32 view of :attr:`words`.
+        self.f32: np.ndarray = self.words.view(np.float32)
+        #: Zero-copy two's-complement view of :attr:`words`.
+        self.i32: np.ndarray = self.words.view(np.int32)
         self.allocations: Dict[str, Allocation] = {}
+        #: Allocation records ordered by base address (bump allocation
+        #: appends in address order), for bisect lookups.
+        self._ordered: List[Allocation] = []
+        self._bases: List[int] = []
         self._brk = 0
         #: Highest mapped address + 1; accesses past this crash.
         self.mapped_end = 0
@@ -70,26 +106,37 @@ class GlobalMemory:
             )
         allocation = Allocation(name=name, base=self._brk, nwords=nwords, dtype=dtype)
         self.allocations[name] = allocation
+        self._ordered.append(allocation)
+        self._bases.append(allocation.base)
         self._brk += nwords
         self.mapped_end = self._brk
         return allocation
 
     def reset(self) -> None:
         """Free everything (between program runs)."""
-        for i in range(self._brk):
-            self.words[i] = 0
+        self.words[: self._brk] = 0
         self.allocations.clear()
+        self._ordered.clear()
+        self._bases.clear()
         self._brk = 0
         self.mapped_end = 0
 
     def allocation_of(self, addr: int) -> Optional[Allocation]:
-        """The allocation containing ``addr``, if any (diagnostics)."""
-        for a in self.allocations.values():
-            if a.contains(addr):
-                return a
+        """The allocation containing ``addr``, if any (diagnostics).
+
+        Bisects the base-sorted allocation list: this sits on the
+        pointer-fault classification path (one lookup per corrupted
+        pointer), where the old linear scan was O(allocations) per
+        trial.
+        """
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            candidate = self._ordered[i]
+            if candidate.contains(addr):
+                return candidate
         return None
 
-    # -- typed scalar access (kernel loads/stores) ----------------------
+    # -- raw word access (bounds policy of the whole device space) ------
     #
     # Access is checked against the *device address space* (capacity),
     # not against allocations: GT200-era GPUs have no per-allocation
@@ -98,31 +145,55 @@ class GlobalMemory:
     # only addresses outside the device crash the kernel.  This is the
     # paper's "lack of fine-grained error protection" made concrete.
 
+    def load_word(self, addr: int) -> int:
+        if 0 <= addr < self.capacity:
+            return self.words.item(addr)
+        raise DeviceMemoryError(f"load outside device memory: {addr}")
+
+    def store_word(self, addr: int, bits: int) -> None:
+        if 0 <= addr < self.capacity:
+            self.words[addr] = bits & 0xFFFFFFFF
+            return
+        raise DeviceMemoryError(f"store outside device memory: {addr}")
+
+    # -- typed scalar access (kernel loads/stores, the hot path) ---------
+
     def load_f32(self, addr: int) -> float:
         if 0 <= addr < self.capacity:
-            return bits_to_float(self.words[addr])
+            return self.f32.item(addr)
         raise DeviceMemoryError(f"load outside device memory: {addr}")
 
     def load_i32(self, addr: int) -> int:
         if 0 <= addr < self.capacity:
-            return bits_to_int(self.words[addr])
+            return self.i32.item(addr)
         raise DeviceMemoryError(f"load outside device memory: {addr}")
 
     def store_f32(self, addr: int, value: float) -> None:
         if 0 <= addr < self.capacity:
-            self.words[addr] = float_to_bits(value)
+            if -_F32_MAX <= value <= _F32_MAX:
+                self.f32[addr] = value
+            else:
+                # NaN / out-of-binary32-range: the struct path preserves
+                # the exact legacy semantics (saturate to ±inf, quiet
+                # NaN payload propagation) without a cast warning
+                self.words[addr] = float_to_bits(value)
             return
         raise DeviceMemoryError(f"store outside device memory: {addr}")
 
     def store_i32(self, addr: int, value: int) -> None:
         if 0 <= addr < self.capacity:
-            self.words[addr] = int_to_bits(value)
+            self.words[addr] = value & 0xFFFFFFFF
             return
         raise DeviceMemoryError(f"store outside device memory: {addr}")
 
     # -- bulk transfer (cudaMemcpy equivalents) --------------------------
     def memcpy_htod(self, dst: Allocation, array: np.ndarray) -> None:
-        """Copy a host NumPy array into a device buffer."""
+        """Copy a host NumPy array into a device buffer (vectorized)."""
+        if self.allocations.get(dst.name) is not dst:
+            raise GPUError(
+                f"htod into stale allocation {dst.name!r}: "
+                "not an allocation of this device memory"
+            )
         flat = np.ascontiguousarray(array).reshape(-1)
         if flat.size > dst.nwords:
             raise GPUError(
@@ -132,35 +203,45 @@ class GlobalMemory:
             bits = flat.astype(np.float32).view(np.uint32)
         else:
             bits = flat.astype(np.int32).view(np.uint32)
-        self.words[dst.base : dst.base + flat.size] = [int(b) for b in bits]
+        self.words[dst.base : dst.base + flat.size] = bits
 
     def memcpy_dtoh(self, src: Allocation, count: Optional[int] = None) -> np.ndarray:
         """Copy a device buffer back to a host NumPy array."""
         n = src.nwords if count is None else count
         if n > src.nwords:
             raise GPUError(f"dtoh overflow: {n} words from {src.nwords}-word buffer")
-        bits = np.array(self.words[src.base : src.base + n], dtype=np.uint32)
+        bits = self.words[src.base : src.base + n]
         if src.dtype is DType.FLOAT32 or src.dtype is DType.PTR_FLOAT32:
             return bits.view(np.float32).copy()
         return bits.view(np.int32).copy()
 
     # -- fault injection (memory/bus faults) -----------------------------
     def inject_word_fault(self, addr: int, mask: int) -> None:
-        """XOR an error mask into one memory word (Section VII)."""
+        """XOR an error mask into one memory word (Section VII).
+
+        Operates on the raw bit pattern, so an XOR into a NaN-holding
+        word changes exactly the masked bits of the payload (see
+        :func:`repro.gpu.faults.inject_word_faults` for the bulk form).
+        """
         if not 0 <= addr < self.mapped_end:
             raise DeviceMemoryError(f"fault injection outside mapped memory: {addr}")
-        self.words[addr] ^= mask & 0xFFFFFFFF
+        self.words[addr] = self.words.item(addr) ^ (mask & 0xFFFFFFFF)
 
     @property
     def used_words(self) -> int:
         return self._brk
 
-    # -- whole-state snapshots (differential trial execution) ------------
-    def snapshot(self) -> List[int]:
-        """Raw bits of every allocated word (golden-state checkpoint)."""
-        return self.words[: self._brk]
+    # -- whole-state snapshots (differential trials, checkpoints) --------
+    def snapshot(self) -> np.ndarray:
+        """Raw bits of every allocated word (golden-state checkpoint).
 
-    def restore(self, words: List[int]) -> None:
+        One vectorized ``uint32`` copy; the result is independent of
+        later stores and feeds :meth:`restore` and the differential
+        engine's golden-diff compares.
+        """
+        return self.words[: self._brk].copy()
+
+    def restore(self, words: np.ndarray) -> None:
         """Overwrite allocated words with a prior :meth:`snapshot`.
 
         The allocation table must already match the snapshot's layout
@@ -185,24 +266,59 @@ class ThreadFootprint:
 
     ``stores`` keeps program order and raw bit patterns, so undoing a
     thread (reverse replay of ``(addr, old, new)``) and re-applying it
-    (forward replay of ``new``) are both exact.
+    (forward replay of ``new``) are both exact.  The *net* effect of
+    those replays — first-store ``old`` and last-store ``new`` per
+    unique address — is materialized once as NumPy scatter arrays, so
+    per-trial undo/reapply are single vectorized writes.
     """
 
     loads: Set[int] = field(default_factory=set)
     stores: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Lazily-built (addrs, first_old_bits, last_new_bits) arrays.
+    _net: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def store_addrs(self) -> Set[int]:
         return {addr for addr, _old, _new in self.stores}
 
+    def net_store_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Scatter arrays ``(addrs, old_bits, new_bits)`` — net effect.
 
-class FootprintRecordingMemory:
-    """Memory view that logs every typed access into a footprint.
+        Reverse replay of the program-ordered store list leaves each
+        address holding the ``old`` bits of its *first* store; forward
+        replay leaves the ``new`` bits of its *last* store.  Collapsing
+        to unique addresses keeps the vectorized scatter well-defined
+        (NumPy fancy assignment with duplicate indices is unordered).
+        """
+        if self._net is None:
+            first_old: Dict[int, int] = {}
+            last_new: Dict[int, int] = {}
+            for addr, old, new in self.stores:
+                if addr not in first_old:
+                    first_old[addr] = old
+                last_new[addr] = new
+            n = len(first_old)
+            self._net = (
+                np.fromiter(first_old.keys(), dtype=np.int64, count=n),
+                np.fromiter(first_old.values(), dtype=np.uint32, count=n),
+                np.fromiter((last_new[a] for a in first_old), dtype=np.uint32,
+                            count=n),
+            )
+        return self._net
 
-    Compiled closures fetch ``ctx.memory`` dynamically on each access,
-    so swapping this wrapper in for one launch records footprints with
-    zero cost on the normal (unwrapped) path — the same enable/disable
-    idiom as the obs layer.
+
+class FootprintRecordingMemory(WordReinterpret):
+    """Memory layer that logs every typed access into a footprint.
+
+    Compiled closures bind accessors from ``ctx`` on each launch, so
+    swapping this layer in for one launch records footprints with zero
+    cost on the normal (unwrapped) path — the same enable/disable
+    idiom as the obs layer.  Loads delegate typed (the recorded fact
+    is the address); stores reinterpret once via the shared
+    :class:`~repro.memspace.WordReinterpret` helper and journal the
+    raw before/after bit patterns.
     """
 
     __slots__ = ("mem", "fp")
@@ -227,21 +343,13 @@ class FootprintRecordingMemory:
         self.fp.loads.add(addr)
         return value
 
-    def store_f32(self, addr: int, value: float) -> None:
+    def store_word(self, addr: int, bits: int) -> None:
         mem = self.mem
         if not 0 <= addr < mem.capacity:
-            mem.store_f32(addr, value)  # raises DeviceMemoryError
-        old = mem.words[addr]
-        mem.store_f32(addr, value)
-        self.fp.stores.append((addr, old, mem.words[addr]))
-
-    def store_i32(self, addr: int, value: int) -> None:
-        mem = self.mem
-        if not 0 <= addr < mem.capacity:
-            mem.store_i32(addr, value)  # raises DeviceMemoryError
-        old = mem.words[addr]
-        mem.store_i32(addr, value)
-        self.fp.stores.append((addr, old, mem.words[addr]))
+            mem.store_word(addr, bits)  # raises DeviceMemoryError
+        old = mem.words.item(addr)
+        mem.words[addr] = bits
+        self.fp.stores.append((addr, old, bits & 0xFFFFFFFF))
 
 
 class ReplayConflict(Exception):
@@ -256,8 +364,8 @@ class ReplayConflict(Exception):
     """
 
 
-class ReplayMemoryGuard:
-    """Memory view for single-thread replay with conflict detection.
+class ReplayMemoryGuard(WordReinterpret):
+    """Memory layer for single-thread replay with conflict detection.
 
     The simulated grid executes threads sequentially in gtid order, so
     program order totally orders cross-thread memory effects.  Replay of
@@ -281,13 +389,15 @@ class ReplayMemoryGuard:
 
     ``store_owner`` maps each golden-stored address to its storing
     thread; ``load_readers`` maps each golden-loaded address to its
-    *latest* reading thread.  Every store is journaled so
-    :meth:`rollback` restores the pre-replay memory exactly.
+    *latest* reading thread.  Every first store to an address is
+    journaled (addresses are unique by construction), so
+    :meth:`rollback` restores the pre-replay memory in one vectorized
+    scatter-write.
     """
 
     __slots__ = (
-        "mem", "thread", "store_owner", "load_readers", "undo", "deferred",
-        "_dirty",
+        "mem", "thread", "store_owner", "load_readers",
+        "_undo_addrs", "_undo_bits", "deferred", "_dirty",
     )
 
     def __init__(
@@ -301,21 +411,23 @@ class ReplayMemoryGuard:
         self.thread = thread
         self.store_owner = store_owner
         self.load_readers = load_readers
-        self.undo: List[Tuple[int, int]] = []
+        self._undo_addrs: List[int] = []
+        self._undo_bits: List[int] = []
         #: Stored addresses whose golden readers include a later thread.
         self.deferred: Set[int] = set()
         self._dirty: Set[int] = set()
 
-    def load_f32(self, addr: int) -> float:
+    def _check_load(self, addr: int) -> None:
         owner = self.store_owner.get(addr)
         if owner is not None and owner > self.thread:
             raise ReplayConflict(f"load of address {addr} stored by thread {owner}")
+
+    def load_f32(self, addr: int) -> float:
+        self._check_load(addr)
         return self.mem.load_f32(addr)
 
     def load_i32(self, addr: int) -> int:
-        owner = self.store_owner.get(addr)
-        if owner is not None and owner > self.thread:
-            raise ReplayConflict(f"load of address {addr} stored by thread {owner}")
+        self._check_load(addr)
         return self.mem.load_i32(addr)
 
     def _check_store(self, addr: int) -> None:
@@ -326,40 +438,36 @@ class ReplayMemoryGuard:
         if reader is not None and reader > self.thread:
             self.deferred.add(addr)
 
-    def store_f32(self, addr: int, value: float) -> None:
+    def store_word(self, addr: int, bits: int) -> None:
         self._check_store(addr)
         mem = self.mem
         if addr not in self._dirty and 0 <= addr < mem.capacity:
             self._dirty.add(addr)
-            self.undo.append((addr, mem.words[addr]))
-        mem.store_f32(addr, value)
+            self._undo_addrs.append(addr)
+            self._undo_bits.append(mem.words.item(addr))
+        mem.store_word(addr, bits)
 
-    def store_i32(self, addr: int, value: int) -> None:
-        self._check_store(addr)
-        mem = self.mem
-        if addr not in self._dirty and 0 <= addr < mem.capacity:
-            self._dirty.add(addr)
-            self.undo.append((addr, mem.words[addr]))
-        mem.store_i32(addr, value)
-
-    def deferred_mismatch(self, golden_words: List[int]) -> bool:
+    def deferred_mismatch(self, golden_words: np.ndarray) -> bool:
         """Whether any later-read stored address ended up non-golden.
 
         Called once after a replay completes; ``True`` means a later
         thread would have observed a changed value and the trial must
-        fall back to full execution.
+        fall back to full execution.  One vectorized gather + compare.
         """
-        words = self.mem.words
-        limit = len(golden_words)
-        for addr in self.deferred:
-            if addr >= limit or words[addr] != golden_words[addr]:
-                return True
-        return False
+        if not self.deferred:
+            return False
+        addrs = np.fromiter(self.deferred, dtype=np.int64, count=len(self.deferred))
+        if bool((addrs >= len(golden_words)).any()):
+            return True
+        golden = np.asarray(golden_words, dtype=np.uint32)
+        return not np.array_equal(self.mem.words[addrs], golden[addrs])
 
     def rollback(self) -> None:
-        """Reverse every store this guard let through."""
-        words = self.mem.words
-        for addr, old in reversed(self.undo):
-            words[addr] = old
-        self.undo.clear()
+        """Reverse every store this guard let through (one scatter)."""
+        if self._undo_addrs:
+            n = len(self._undo_addrs)
+            self.mem.words[np.fromiter(self._undo_addrs, np.int64, count=n)] = \
+                np.fromiter(self._undo_bits, np.uint32, count=n)
+        self._undo_addrs.clear()
+        self._undo_bits.clear()
         self._dirty.clear()

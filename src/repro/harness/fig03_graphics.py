@@ -17,6 +17,7 @@ from repro.core.program import HauberkProgram, RunStatus
 from repro.harness.config import BENCH, ExperimentScale
 from repro.harness.reporting import print_table
 from repro.swifi import FaultSpec, enumerate_targets
+from repro.swifi.injector import MemoryFaultInjector
 from repro.workloads.graphics import OceanWorkload, frame_corruption_stats
 from repro.workloads.graphics.perceptual import FrameStats
 
@@ -47,10 +48,12 @@ def run_fig03(scale: ExperimentScale = BENCH) -> Fig03Result:
     # exponent bit, read by every pixel of the frame
     args, handles = wl.setup_memory(prog.device, inp)
     amp_addr = handles["spectrum"].base + 2  # wave 0 amplitude
-    prog.device.memory.inject_word_fault(amp_addr, 1 << 25)
+    injector = MemoryFaultInjector(prog.device.memory)
+    injector.inject_word(amp_addr, 1 << 25)
     prog.runtime.launch(wl.kernel, inp.grid, inp.block, args,
                         budget=wl.hang_budget)
     corrupted = wl.read_output(prog.device, inp, handles)
+    injector.undo()  # clear the stuck word before any later launch
     intermittent = frame_corruption_stats(corrupted, golden)
 
     return Fig03Result(

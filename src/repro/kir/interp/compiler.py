@@ -108,8 +108,8 @@ def compile_expr(e: Expr) -> ExprFn:
         p = compile_expr(e.ptr)
         i = compile_expr(e.index)
         if e.dtype is DType.FLOAT32:
-            return lambda fr, ctx: ctx.memory.load_f32(p(fr, ctx) + i(fr, ctx))
-        return lambda fr, ctx: ctx.memory.load_i32(p(fr, ctx) + i(fr, ctx))
+            return lambda fr, ctx: ctx.load_f32(p(fr, ctx) + i(fr, ctx))
+        return lambda fr, ctx: ctx.load_i32(p(fr, ctx) + i(fr, ctx))
     if isinstance(e, SharedLoad):
         name = e.array
         i = compile_expr(e.index)
@@ -239,9 +239,9 @@ class _KernelCompiler:
                     ctx.loop_cycles += cost
                     addr = p(fr, ctx) + i(fr, ctx)
                     if is_float:
-                        ctx.memory.store_f32(addr, v(fr, ctx))
+                        ctx.store_f32(addr, v(fr, ctx))
                     else:
-                        ctx.memory.store_i32(addr, v(fr, ctx))
+                        ctx.store_i32(addr, v(fr, ctx))
                 return store_l
 
             def store_nl(fr, ctx):
@@ -251,9 +251,9 @@ class _KernelCompiler:
                 ctx.cycles += cost
                 addr = p(fr, ctx) + i(fr, ctx)
                 if is_float:
-                    ctx.memory.store_f32(addr, v(fr, ctx))
+                    ctx.store_f32(addr, v(fr, ctx))
                 else:
-                    ctx.memory.store_i32(addr, v(fr, ctx))
+                    ctx.store_i32(addr, v(fr, ctx))
             return store_nl
         if isinstance(s, SharedStore):
             name = s.array
@@ -399,10 +399,10 @@ class _KernelCompiler:
                 ctx.loop_cycles += cost
             addr = p(fr, ctx) + i(fr, ctx)
             if is_float:
-                ctx.memory.store_f32(addr, ctx.memory.load_f32(addr) + v(fr, ctx))
+                ctx.store_f32(addr, ctx.load_f32(addr) + v(fr, ctx))
             else:
-                ctx.memory.store_i32(
-                    addr, wrap_i32(ctx.memory.load_i32(addr) + v(fr, ctx))
+                ctx.store_i32(
+                    addr, wrap_i32(ctx.load_i32(addr) + v(fr, ctx))
                 )
         return atomic_global
 

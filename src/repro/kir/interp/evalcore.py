@@ -242,7 +242,13 @@ class ExecContext:
 
     Attributes of note:
 
-    * ``memory`` — the device :class:`~repro.gpu.memory.GlobalMemory`;
+    * ``memory`` — the installed :class:`~repro.memspace.MemorySpace`
+      (normally the device :class:`~repro.gpu.memory.GlobalMemory`);
+    * ``load_f32`` .. ``store_i32`` — the four accessors of that space,
+      bound as instance attributes so compiled closures reach device
+      memory in one attribute lookup (``ctx.load_f32``) instead of two
+      (``ctx.memory.load_f32``), keeping the layered protocol off the
+      hot path;
     * ``lib`` — bound instrumentation library (FI / profiler / FT);
     * ``budget`` — per-thread statement budget; exceeding it raises
       :class:`~repro.errors.KernelHang` (the watchdog);
@@ -252,6 +258,10 @@ class ExecContext:
 
     __slots__ = (
         "memory",
+        "load_f32",
+        "load_i32",
+        "store_f32",
+        "store_i32",
         "lib",
         "budget",
         "steps",
@@ -270,7 +280,7 @@ class ExecContext:
         lib: Optional[InstrumentationLibrary] = None,
         budget: int = 2_000_000,
     ):
-        self.memory = memory
+        self._bind_memory(memory)
         self.lib = lib if lib is not None else NullLibrary()
         self.budget = budget
         self.steps = 0
@@ -298,14 +308,22 @@ class ExecContext:
         self.thread = thread
         self.block = block
 
-    def swap_memory(self, memory):
-        """Install a different device-memory view; returns the old one.
+    def _bind_memory(self, memory) -> None:
+        self.memory = memory
+        self.load_f32 = memory.load_f32
+        self.load_i32 = memory.load_i32
+        self.store_f32 = memory.store_f32
+        self.store_i32 = memory.store_i32
 
-        Compiled closures fetch ``ctx.memory`` on every access, so this
-        is how recording/guarded wrappers (footprint capture, the
-        differential replay guard) slot in for one launch or one
-        replayed thread without touching the zero-cost normal path.
+    def swap_memory(self, memory):
+        """Install a different memory space; returns the old one.
+
+        Compiled closures fetch the bound ``ctx.load_f32`` (etc.)
+        accessors on every access, and this rebinds all four — so
+        recording/guarded layers (footprint capture, the differential
+        replay guard) slot in for one launch or one replayed thread
+        without touching the zero-cost normal path.
         """
         previous = self.memory
-        self.memory = memory
+        self._bind_memory(memory)
         return previous

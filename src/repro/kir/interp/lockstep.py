@@ -156,9 +156,9 @@ class LockstepProgram:
             addr = self._fn(s.ptr)(fr, ctx) + self._fn(s.index)(fr, ctx)
             value = self._fn(s.value)(fr, ctx)
             if s.ptr.dtype.element is DType.FLOAT32:
-                ctx.memory.store_f32(addr, value)
+                ctx.store_f32(addr, value)
             else:
-                ctx.memory.store_i32(addr, value)
+                ctx.store_i32(addr, value)
             return
         if isinstance(s, SharedStore):
             self._tick(st, ctx)
@@ -191,10 +191,10 @@ class LockstepProgram:
                 ctx.cycles += self.cm.atomic_global
                 addr = self._fn(s.target)(fr, ctx) + idx
                 if s.target.dtype.element is DType.FLOAT32:
-                    ctx.memory.store_f32(addr, ctx.memory.load_f32(addr) + value)
+                    ctx.store_f32(addr, ctx.load_f32(addr) + value)
                 else:
-                    ctx.memory.store_i32(
-                        addr, wrap_i32(ctx.memory.load_i32(addr) + value)
+                    ctx.store_i32(
+                        addr, wrap_i32(ctx.load_i32(addr) + value)
                     )
             if s.in_loop:
                 ctx.loop_cycles += self.cm.atomic_shared

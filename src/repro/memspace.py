@@ -1,0 +1,92 @@
+"""The MemorySpace protocol: one typed word-addressed access interface.
+
+Every memory model in this repository — the GPU's flat
+:class:`~repro.gpu.memory.GlobalMemory`, its recording / guarded
+wrappers used by differential trial execution, and the CPU simulator's
+:class:`~repro.cpusim.machine.PagedMemory` — speaks the same
+four-method interface: typed 32-bit scalar loads and stores over a
+word-addressed space.  This module makes that previously implicit
+contract explicit:
+
+* :class:`MemorySpace` — the structural protocol interpreters compile
+  against (``ctx.load_f32`` and friends are bound from whatever space
+  is installed, so recording and replay-guard layers compose by
+  construction rather than by duck-typed accident);
+* :class:`WordReinterpret` — the shared helper deriving the four typed
+  accessors from two *word primitives* (``load_word``/``store_word``).
+  Concrete spaces differ only in their bounds policy, which lives
+  entirely in the primitives: the GPU space checks the flat device
+  range (no per-allocation protection — the paper's SDC path), the CPU
+  space checks page mapping and permissions (the protection GPUs
+  lack).  Reinterpretation itself — IEEE-754 binary32 bit patterns for
+  floats, two's complement for ints — is written once, here.
+
+Bit-pattern fidelity contract: a word is stored and snapshotted as its
+exact 32-bit pattern.  Typed *loads* reinterpret on the way out (a
+float32 signaling NaN is quieted by the float64 conversion, as on real
+hardware reading through an FPU register), but the word itself — NaN
+payloads, denormals, -0.0 included — is never canonicalized while at
+rest.  See ``docs/fault-model.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.bits import bits_to_float, bits_to_int, float_to_bits, int_to_bits
+
+
+@runtime_checkable
+class MemorySpace(Protocol):
+    """Typed scalar access over a word-addressed 32-bit memory."""
+
+    def load_f32(self, addr: int) -> float:
+        """The binary32 value of the word at ``addr``."""
+
+    def load_i32(self, addr: int) -> int:
+        """The signed two's-complement value of the word at ``addr``."""
+
+    def store_f32(self, addr: int, value: float) -> None:
+        """Round ``value`` through binary32 and store its bit pattern."""
+
+    def store_i32(self, addr: int, value: int) -> None:
+        """Store the two's-complement pattern of ``value``."""
+
+
+class WordReinterpret:
+    """Mixin deriving the :class:`MemorySpace` methods from word primitives.
+
+    Subclasses provide ``load_word(addr) -> int`` and
+    ``store_word(addr, bits) -> None`` carrying their bounds policy
+    (and its error type); this mixin contributes the single shared
+    implementation of typed reinterpretation.  Performance-critical
+    spaces may override individual accessors with equivalent fast
+    paths (e.g. :class:`~repro.gpu.memory.GlobalMemory` reads through
+    zero-copy NumPy dtype views) — overrides must preserve bit-exact
+    semantics, which the property suite in ``tests/test_memory_space.py``
+    checks.
+    """
+
+    __slots__ = ()
+
+    # -- word primitives (bounds policy lives here) ----------------------
+    def load_word(self, addr: int) -> int:
+        """Raw 32-bit pattern of the word at ``addr``."""
+        raise NotImplementedError
+
+    def store_word(self, addr: int, bits: int) -> None:
+        """Overwrite the word at ``addr`` with a raw 32-bit pattern."""
+        raise NotImplementedError
+
+    # -- derived typed accessors ----------------------------------------
+    def load_f32(self, addr: int) -> float:
+        return bits_to_float(self.load_word(addr))
+
+    def load_i32(self, addr: int) -> int:
+        return bits_to_int(self.load_word(addr))
+
+    def store_f32(self, addr: int, value: float) -> None:
+        self.store_word(addr, float_to_bits(value))
+
+    def store_i32(self, addr: int, value: int) -> None:
+        self.store_word(addr, int_to_bits(value))

@@ -43,6 +43,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
+import numpy as np
+
 from repro.core.controlblock import ControlBlock, DetectionEvent
 from repro.core.ftlib import HauberkFTLibrary
 from repro.errors import KernelCrash, KernelHang
@@ -165,7 +167,7 @@ class DifferentialEngine:
         self.load_readers: Dict[int, int] = {}
         self.golden_events: Dict[int, List[DetectionEvent]] = {}
         self.launch: Optional[LaunchResult] = None
-        self._golden_words: List[int] = []
+        self._golden_words: np.ndarray = np.empty(0, dtype=np.uint32)
 
     # -- golden recording -------------------------------------------------
     def record_golden(self) -> Optional[str]:
@@ -273,10 +275,21 @@ class DifferentialEngine:
         self.handles = handles
         self._probe_alloc = handles[self._probe_name]
 
+    def _undo(self, footprint: ThreadFootprint) -> None:
+        """Back out the thread's golden stores (one scatter-write).
+
+        Equivalent to replaying ``(addr, old, new)`` in reverse: each
+        address ends at the ``old`` bits of its first store.
+        """
+        addrs, old_bits, _new_bits = footprint.net_store_arrays()
+        if addrs.size:
+            self.memory.words[addrs] = old_bits
+
     def _reapply(self, footprint: ThreadFootprint) -> None:
-        words = self.memory.words
-        for addr, _old, new in footprint.stores:
-            words[addr] = new
+        """Re-establish the thread's golden stores (one scatter-write)."""
+        addrs, _old_bits, new_bits = footprint.net_store_arrays()
+        if addrs.size:
+            self.memory.words[addrs] = new_bits
 
     def run_trial(self, spec: FaultSpec) -> Optional[TrialObservation]:
         """Serve one trial by replaying the faulted thread, or None to fall back.
@@ -294,9 +307,7 @@ class DifferentialEngine:
             self.restore_memory()
 
         rec = self.records[target]
-        words = self.memory.words
-        for addr, old, _new in reversed(rec.footprint.stores):
-            words[addr] = old
+        self._undo(rec.footprint)
         guard = ReplayMemoryGuard(
             self.memory, target, self.store_owner, self.load_readers
         )

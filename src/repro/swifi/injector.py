@@ -22,10 +22,13 @@ one fault per run, as in Section VIII.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.bits import flip_float_bits, flip_int_bits
 from repro.errors import InjectionError
+from repro.gpu.faults import inject_word_faults
 from repro.kir.analysis.dataflow import SiteInfo, collect_sites
 from repro.kir.astnodes import (
     Assign,
@@ -90,6 +93,46 @@ def instrument_for_fi(kernel: Kernel) -> Kernel:
     clone.body = param_hooks + body
     validate_kernel(clone)
     return clone
+
+
+class MemoryFaultInjector:
+    """Undoable device-memory corruption (the memory column of Section VII).
+
+    Wraps :func:`~repro.gpu.faults.inject_word_faults`: each
+    :meth:`inject` XORs masks into device words as one vectorized
+    operation and journals the prior bit patterns, and :meth:`undo`
+    restores every corrupted word in reverse injection order — so a
+    harness can corrupt, launch, measure, and hand back pristine golden
+    state without a full memory restore.  Because both directions act
+    on raw bit patterns, corrupting and undoing a NaN-holding word
+    round-trips its payload exactly.
+    """
+
+    def __init__(self, memory):
+        self.memory = memory
+        self._journal: List[Tuple[np.ndarray, np.ndarray]] = []
+
+    def inject(self, addrs: Sequence[int], masks: Sequence[int]) -> np.ndarray:
+        """Corrupt ``addrs`` with ``masks``; returns the new bit patterns."""
+        old_bits, new_bits = inject_word_faults(self.memory, addrs, masks)
+        if old_bits.size:
+            addr_arr = np.asarray(addrs, dtype=np.int64).reshape(-1)
+            self._journal.append((addr_arr, old_bits))
+        return new_bits
+
+    def inject_word(self, addr: int, mask: int) -> int:
+        """Single-word convenience form; returns the new bit pattern."""
+        return int(self.inject([addr], [mask])[0])
+
+    @property
+    def injected_words(self) -> int:
+        return sum(addrs.size for addrs, _old in self._journal)
+
+    def undo(self) -> None:
+        """Restore every journaled word, most recent injection first."""
+        while self._journal:
+            addr_arr, old_bits = self._journal.pop()
+            self.memory.words[addr_arr] = old_bits
 
 
 class FaultInjectionLibrary(InstrumentationLibrary):

@@ -165,9 +165,13 @@ class Workload:
     def read_output(
         self, device: Device, inp: WorkloadInput, handles: Dict[str, Allocation]
     ) -> np.ndarray:
+        outputs = inp.outputs
+        if len(outputs) == 1:
+            # the common case (one output buffer): skip the concatenate
+            return device.memory.memcpy_dtoh(handles[outputs[0]]).astype(np.float64)
         parts = [
             device.memory.memcpy_dtoh(handles[name]).astype(np.float64)
-            for name in inp.outputs
+            for name in outputs
         ]
         return np.concatenate(parts) if parts else np.empty(0)
 

@@ -9,6 +9,7 @@ from repro.core.guardian import Guardian
 from repro.core.program import HauberkProgram, RunStatus
 from repro.core.recovery import (
     AlphaController,
+    DeviceCheckpointer,
     FalsePositiveMonitor,
     RecoveryEngine,
 )
@@ -284,3 +285,38 @@ class TestCheckpoint:
             CheckpointLibrary().latest()
         with pytest.raises(RecoveryError):
             CheckpointLibrary(capacity=0)
+
+
+class TestDeviceCheckpointer:
+    def test_checkpoint_restore_heals_corrupted_device_state(self):
+        prog = _trained_program()
+        inp = prog.workload.generate_input(0)
+        prog.workload.setup_memory(prog.device, inp)
+        ckpt = DeviceCheckpointer(prog)
+        cp = ckpt.checkpoint()
+        assert cp.tag == "kernel-boundary-1"
+        memory = prog.device.memory
+        before = memory.snapshot()
+        memory.inject_word_fault(0, 0xFFFFFFFF)  # simulated corruption
+        assert not np.array_equal(memory.snapshot(), before)
+        ckpt.restore(cp)
+        assert np.array_equal(memory.snapshot(), before)
+
+    def test_guardian_supervise_accepts_checkpointer(self):
+        prog = _trained_program()
+        inp = prog.workload.generate_input(0)
+        prog.workload.setup_memory(prog.device, inp)
+        ckpt = DeviceCheckpointer(prog)
+        lib = CheckpointLibrary()
+        guardian = Guardian(checkpoints=lib)
+        guardian.node.devices[0] = prog.device
+
+        def launch_fn(device, budget):
+            result = prog.run(mode="ft", inp=inp)
+            return result
+
+        result, report = guardian.supervise(
+            launch_fn, checkpoint_fn=ckpt.checkpoint, restore_fn=ckpt.restore
+        )
+        assert result.status is RunStatus.OK
+        assert len(lib) == 1 and lib.latest().device_words is not None
