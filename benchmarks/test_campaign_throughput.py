@@ -35,7 +35,12 @@ import numpy as np
 from repro.core.program import HauberkProgram
 from repro.exec import fork_available
 from repro.harness.reporting import format_table
-from repro.swifi import build_fault_specs, run_campaign, select_targets
+from repro.swifi import (
+    CampaignOptions,
+    build_fault_specs,
+    run_campaign,
+    select_targets,
+)
 from repro.workloads import get_workload
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -63,11 +68,34 @@ def _specs(scale, name, n_trials=None, bit_counts=(1, 6)):
     return wl, specs[:n_trials] if n_trials else specs
 
 
-def _timed(prog, specs, workers, differential):
+def _timed(prog, specs, workers, differential, profile=False):
+    options = CampaignOptions(workers=workers, differential=differential,
+                              profile=profile)
     start = time.perf_counter()
-    result = run_campaign(prog, specs, mode="fift", workers=workers,
-                          differential=differential)
+    result = run_campaign(prog, specs, mode="fift", options=options)
     return time.perf_counter() - start, result.summary()
+
+
+def _profiler_overhead(prog, specs):
+    """Best-of-3 CP w1-diff wall time with the phase profiler on vs off.
+
+    The acceptance bar for the flight recorder: profiling must cost
+    <= 5% on the configuration campaigns actually run hot (serial
+    differential).  Best-of-N filters scheduler noise; the absolute
+    guard below keeps sub-100ms timed regions from flaking the ratio.
+    """
+    off = min(_timed(prog, specs, workers=1, differential=True)[0]
+              for _ in range(3))
+    on = min(_timed(prog, specs, workers=1, differential=True,
+                    profile=True)[0]
+             for _ in range(3))
+    return {
+        "workload": "CP",
+        "config": "w1-diff",
+        "profile_off_seconds": round(off, 4),
+        "profile_on_seconds": round(on, 4),
+        "overhead": round(on / off - 1.0, 4),
+    }
 
 
 def _config(key, workers, differential, elapsed, n_trials, baseline):
@@ -86,6 +114,7 @@ def _config(key, workers, differential, elapsed, n_trials, baseline):
 def test_campaign_throughput(scale, report):
     workloads = {}
     rows = []
+    overhead = None
 
     for name, n_trials, bit_counts, worker_counts in (
         ("CP", None, (1, 6), WORKER_COUNTS),
@@ -141,12 +170,16 @@ def test_campaign_throughput(scale, report):
                 f"{name} {ckey} diverged from the serial full run"
         assert all(c["trials_per_sec"] > 0 for c in configs.values())
 
+        if name == "CP":
+            overhead = _profiler_overhead(prog, specs)
+
     payload = {
         "benchmark": "campaign_throughput",
         "mode": "fift",
         "cpu_count": os.cpu_count(),
         "fork_available": fork_available(),
         "workloads": workloads,
+        "overhead": overhead,
     }
     (REPO_ROOT / "BENCH_campaign.json").write_text(
         json.dumps(payload, indent=2) + "\n"
@@ -158,6 +191,18 @@ def test_campaign_throughput(scale, report):
          "speedup", "cpu-limited"],
         rows,
     ))
+    report(
+        f"profiler overhead (CP w1-diff, best of 3): "
+        f"{overhead['overhead'] * 100:+.1f}% "
+        f"({overhead['profile_off_seconds']:.3f}s -> "
+        f"{overhead['profile_on_seconds']:.3f}s)"
+    )
+
+    # flight-recorder acceptance: profiling costs <= 5% on CP w1-diff
+    # (absolute floor absorbs timer noise when the region is tiny)
+    assert (overhead["overhead"] <= 0.05
+            or overhead["profile_on_seconds"]
+            - overhead["profile_off_seconds"] <= 0.05), overhead
 
     # the differential engine's reason to exist: at least one eligible
     # workload must clear 3x over full execution (hang-heavy spec draws

@@ -9,6 +9,9 @@ Usage::
     python -m repro run fig04 --json-dir out/ # + tables as JSON
     python -m repro run fig14 --run-dir runs  # durable trial journal
     python -m repro run fig14 --resume runs   # resume a killed campaign
+    python -m repro run sec9c --progress --profile --run-dir runs
+                                              # live progress + phase profile
+    python -m repro report runs               # post-mortem of a journaled run
     python -m repro metrics fig04             # Prometheus metrics dump
     python -m repro workloads                 # benchmark inventory
     python -m repro inspect CP --mode ft      # show instrumented source
@@ -66,6 +69,12 @@ def _campaign_parent() -> argparse.ArgumentParser:
     grp.add_argument("--trial-timeout", type=float, metavar="SECONDS",
                      help="per-trial wall-clock budget; a trial exceeding "
                           "it is classified as a hang")
+    grp.add_argument("--progress", action="store_true",
+                     help="render a live progress line (bar, trials/sec, "
+                          "ETA, outcome tallies) on stderr")
+    grp.add_argument("--profile", action="store_true",
+                     help="attribute wall-clock to campaign phases; "
+                          "journaled campaigns also write profile.json")
     return parent
 
 
@@ -91,6 +100,10 @@ def _resolve_scale(args):
         changes["retry"] = RetryPolicy(max_deaths=retries)
     if getattr(args, "trial_timeout", None) is not None:
         changes["trial_timeout"] = args.trial_timeout
+    if getattr(args, "progress", False):
+        changes["progress"] = True
+    if getattr(args, "profile", False):
+        changes["profile"] = True
     if changes:
         scale = dataclasses.replace(
             scale, campaign=scale.campaign.evolve(**changes)
@@ -227,6 +240,31 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    """Generate the deterministic post-mortem for a journaled run."""
+    from repro.errors import InjectionError
+    from repro.obs.report import build_report, render_json, render_markdown
+
+    try:
+        report = build_report(
+            args.run_dir,
+            include_timing=not args.no_timing,
+            trace=args.trace,
+        )
+    except InjectionError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    text = render_json(report) if args.format == "json" \
+        else render_markdown(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"[report written to {args.output}]", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_workloads(_args) -> int:
     from repro.core.program import HauberkProgram
     from repro.harness.reporting import print_table
@@ -301,6 +339,24 @@ def main(argv=None) -> int:
     met_p.add_argument("--trace", metavar="FILE",
                        help="write a JSON-lines span/event trace to FILE")
     met_p.set_defaults(fn=cmd_metrics)
+
+    rep_p = sub.add_parser(
+        "report",
+        help="post-mortem report for a journaled run directory",
+    )
+    rep_p.add_argument("run_dir", metavar="RUN_DIR",
+                       help="directory previously passed as --run-dir")
+    rep_p.add_argument("--format", choices=("markdown", "json"),
+                       default="markdown")
+    rep_p.add_argument("--output", metavar="FILE",
+                       help="write the report to FILE instead of stdout")
+    rep_p.add_argument("--trace", metavar="FILE",
+                       help="also aggregate spans/events from this trace "
+                            "JSONL into the timing section")
+    rep_p.add_argument("--no-timing", action="store_true",
+                       help="omit all timing sections (profile, heartbeats, "
+                            "trace) — only execution-speed-independent facts")
+    rep_p.set_defaults(fn=cmd_report)
 
     sub.add_parser("workloads", help="benchmark inventory").set_defaults(
         fn=cmd_workloads

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -109,24 +109,38 @@ class ForkPool:
             initargs=self.initargs,
         )
 
-    def map_ordered(self, fn: Callable, payloads: Sequence) -> List:
+    def map_ordered(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        on_result: Optional[Callable[[int, object], None]] = None,
+    ) -> List:
         """Run ``fn`` over ``payloads``; results in submission order.
 
-        Work is dispatched eagerly so idle workers steal ahead, but the
-        returned list matches ``payloads`` element-for-element.  A
+        Work is dispatched eagerly so idle workers steal ahead, and
+        futures are consumed in *completion* order so
+        ``on_result(index, result)`` fires the moment a payload lands —
+        the live-progress/heartbeat hook — while the returned list
+        still matches ``payloads`` element-for-element.  A
         worker-process death surfaces as ``crash_error`` on the first
         affected payload rather than a hang.
         """
         with self.executor() as pool:
-            futures = [pool.submit(fn, payload) for payload in payloads]
-            results = []
-            for i, future in enumerate(futures):
+            futures = {
+                pool.submit(fn, payload): i
+                for i, payload in enumerate(payloads)
+            }
+            results: List = [None] * len(payloads)
+            for future in as_completed(futures):
+                i = futures[future]
                 try:
-                    results.append(future.result())
+                    results[i] = future.result()
                 except BrokenProcessPool as exc:
                     raise self.crash_error(
                         f"worker process died while running chunk {i} of "
                         f"{len(payloads)} (see stderr for the worker's "
                         f"traceback, if any)"
                     ) from exc
+                if on_result is not None:
+                    on_result(i, results[i])
             return results

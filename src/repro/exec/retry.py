@@ -37,6 +37,7 @@ from __future__ import annotations
 import contextlib
 import signal
 import time
+from concurrent.futures import as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -193,11 +194,18 @@ def map_resilient(
     index_of = {id(item): i for i, item in enumerate(items)}
 
     def run_shared(pending: List[Tuple]) -> List[Tuple]:
-        """One shared pool over ``pending``; returns the failed chunks."""
+        """One shared pool over ``pending``; returns the failed chunks.
+
+        Futures are consumed in *completion* order so ``on_result``
+        fires the moment a chunk lands — live progress and journal
+        durability must not wait behind a slow earlier chunk.  Callers
+        reassemble by item identity, so the order is free to vary.
+        """
         failed: List[Tuple] = []
         with pool.executor() as ex:
-            futures = [(chunk, ex.submit(fn, chunk)) for chunk in pending]
-            for chunk, future in futures:
+            future_chunks = {ex.submit(fn, chunk): chunk for chunk in pending}
+            for future in as_completed(future_chunks):
+                chunk = future_chunks[future]
                 try:
                     finish(chunk, future.result())
                 except BrokenProcessPool as exc:
@@ -207,6 +215,9 @@ def map_resilient(
                             f"{len(chunk)} item(s) (retries disabled)"
                         ) from exc
                     failed.append(chunk)
+        # completion order is nondeterministic; keep the retry rounds'
+        # split/blame sequence deterministic by re-sorting on position
+        failed.sort(key=lambda chunk: index_of[id(chunk[0])])
         if failed:
             emit("worker_death", phase="shared",
                  failed_chunks=len(failed),

@@ -1,6 +1,6 @@
 """``repro.obs`` — dependency-free observability for the whole stack.
 
-Three small modules:
+Six small modules:
 
 * :mod:`repro.obs.events` — structured tracing: a process-wide
   :class:`Tracer` emitting span/event records into pluggable sinks
@@ -10,10 +10,18 @@ Three small modules:
   and JSON export.
 * :mod:`repro.obs.instrument` — the helpers the instrumented layers
   (GPU runtime, SWIFI campaigns, guardian, translator, recovery) call.
+* :mod:`repro.obs.profile` — the campaign :class:`PhaseProfiler`
+  attributing wall-clock to a fixed phase taxonomy (parse/build, golden
+  recording, replay, fallback, merge, journal, retry, quarantine).
+* :mod:`repro.obs.progress` — heartbeat records and the ``--progress``
+  TTY renderer.
+* :mod:`repro.obs.report` — the ``repro report`` post-mortem generator
+  joining journal, heartbeats, profile, and trace into one document.
 
 The default tracer is a :class:`NullTracer` whose operations are
 no-ops, so instrumented code paths run at full speed until someone
-installs a real tracer with :func:`set_tracer` / :func:`use_tracer`.
+installs a real tracer with :func:`set_tracer` / :func:`use_tracer`;
+the profiler mirrors the same pattern with :class:`NullPhaseProfiler`.
 See ``docs/observability.md`` for the record schema and metric names.
 """
 
@@ -39,6 +47,15 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.instrument import traced
+from repro.obs.profile import (
+    PHASES,
+    NullPhaseProfiler,
+    PhaseProfiler,
+    get_profiler,
+    set_profiler,
+    use_profiler,
+)
+from repro.obs.progress import Heartbeat, HeartbeatMonitor, ProgressRenderer
 
 __all__ = [
     "Tracer",
@@ -59,4 +76,13 @@ __all__ = [
     "set_registry",
     "fresh_registry",
     "traced",
+    "PHASES",
+    "PhaseProfiler",
+    "NullPhaseProfiler",
+    "get_profiler",
+    "set_profiler",
+    "use_profiler",
+    "Heartbeat",
+    "HeartbeatMonitor",
+    "ProgressRenderer",
 ]

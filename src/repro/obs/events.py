@@ -51,15 +51,30 @@ class NullSink(TraceSink):
 
 
 class RingBufferSink(TraceSink):
-    """Keeps the most recent ``capacity`` records in memory."""
+    """Keeps the most recent ``capacity`` records in memory.
+
+    Overflow is not silent: each record evicted to make room is counted
+    on :attr:`dropped` and on the ``repro_obs_trace_dropped_total``
+    counter, so a truncated worker trace is visible in the metrics
+    export instead of just being mysteriously short.
+    """
 
     def __init__(self, capacity: int = 4096):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.dropped = 0
         self._records: Deque[Dict[str, Any]] = deque(maxlen=capacity)
 
     def emit(self, record: Dict[str, Any]) -> None:
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+            from repro.obs.metrics import get_registry
+
+            get_registry().counter(
+                "repro_obs_trace_dropped_total",
+                "Trace records evicted from ring buffer sinks",
+            ).inc()
         self._records.append(record)
 
     @property
@@ -67,6 +82,7 @@ class RingBufferSink(TraceSink):
         return list(self._records)
 
     def clear(self) -> None:
+        """Discard buffered records (the drop counter is *not* reset)."""
         self._records.clear()
 
 

@@ -43,7 +43,16 @@ repro_alpha_value                           gauge      --
 repro_translator_passes_total               counter    mode
 repro_translator_statements_added_total     rule       (loop|nonloop|fi_hook)
 repro_translator_seconds                    histogram  mode
+repro_campaign_phase_seconds                histogram  phase, reason
+repro_obs_trace_dropped_total               counter    --
 ==========================================  =========  =======================
+
+The last two are recorded outside this module:
+``repro_campaign_phase_seconds`` by :mod:`repro.obs.profile` (one
+observation per profiled campaign phase occurrence) and
+``repro_obs_trace_dropped_total`` by
+:class:`repro.obs.events.RingBufferSink` (one increment per record
+evicted from a full ring buffer).
 """
 
 from __future__ import annotations

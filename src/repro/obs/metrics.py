@@ -286,16 +286,26 @@ class MetricsRegistry:
                     gauge.set(sample["value"], **sample["labels"])
             elif kind == "histogram":
                 for sample in samples:
-                    bounds = tuple(float(b) for b in sample["buckets"])
+                    # A JSON round trip may reorder the bucket keys
+                    # (e.g. ``sort_keys=True`` orders "10.0" before
+                    # "2.5"), so counts must be re-paired with their
+                    # numeric bounds before comparing or absorbing —
+                    # trusting dict order here used to misalign counts.
+                    pairs = sorted(
+                        (float(bound), count)
+                        for bound, count in sample["buckets"].items()
+                    )
+                    bounds = tuple(bound for bound, _ in pairs)
                     histogram = self.histogram(name, help_text, buckets=bounds)
                     if histogram.buckets != bounds:
                         raise ValueError(
-                            f"histogram {name!r} bucket mismatch: have "
-                            f"{histogram.buckets}, snapshot has {bounds}"
+                            f"cannot merge histogram {name!r}: bucket "
+                            f"mismatch (registry has {histogram.buckets}, "
+                            f"snapshot has {bounds})"
                         )
                     histogram._absorb(
                         sample["labels"],
-                        list(sample["buckets"].values()),
+                        [count for _, count in pairs],
                         sample["sum"],
                         sample["count"],
                     )

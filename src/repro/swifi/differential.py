@@ -62,6 +62,12 @@ from repro.obs.instrument import (
     record_launch,
     record_launch_failure,
 )
+from repro.obs.profile import (
+    PHASE_DIFF_REPLAY,
+    PHASE_FULL_RUN,
+    PHASE_GOLDEN_RECORD,
+    get_profiler,
+)
 from repro.swifi.campaign import TrialObservation
 from repro.swifi.faultmodel import FaultSpec
 from repro.swifi.injector import FaultInjectionLibrary
@@ -438,7 +444,8 @@ def _build_engine(program: "HauberkProgram", mode: str, seed: int):
     if obstacle is not None:
         return _Ineligible(obstacle)
     engine = DifferentialEngine(program, mode, seed)
-    reason = engine.record_golden()
+    with get_profiler().phase(PHASE_GOLDEN_RECORD):
+        reason = engine.record_golden()
     if reason is not None:
         return _Ineligible(reason)
     return engine
@@ -458,9 +465,13 @@ def differential_runner(program: "HauberkProgram", mode: str, seed: int = 0):
         reason = entry.reason
 
         def fallback_runner(spec: Optional[FaultSpec]) -> TrialObservation:
-            if spec is not None:
-                record_differential_trial(False, reason)
-            return full(spec)
+            if spec is None:
+                return full(spec)
+            record_differential_trial(False, reason)
+            prof = get_profiler()
+            prof.note_served("full", reason)
+            with prof.phase(PHASE_FULL_RUN, reason=reason):
+                return full(spec)
 
         return fallback_runner
 
@@ -469,11 +480,16 @@ def differential_runner(program: "HauberkProgram", mode: str, seed: int = 0):
     def runner(spec: Optional[FaultSpec]) -> TrialObservation:
         if spec is None:
             return full(spec)
-        obs = engine.run_trial(spec)
+        prof = get_profiler()
+        with prof.phase(PHASE_DIFF_REPLAY):
+            obs = engine.run_trial(spec)
         if obs is None:
             record_differential_trial(False, "replay_conflict")
-            return full(spec)
+            prof.note_served("full", "replay_conflict")
+            with prof.phase(PHASE_FULL_RUN, reason="replay_conflict"):
+                return full(spec)
         record_differential_trial(True)
+        prof.note_served("diff")
         return obs
 
     # Exposed so the trial-deadline guard (swifi/parallel.py) can heal

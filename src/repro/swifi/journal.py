@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import InjectionError
+from repro.obs.profile import PHASE_JOURNAL_APPEND, get_profiler
 from repro.swifi.campaign import QuarantineReport, TrialObservation
 from repro.swifi.faultmodel import FaultSpec
 
@@ -139,6 +140,9 @@ class JournalRecord:
     outcome: str
     observation: Optional[TrialObservation]
     quarantine: Optional[Dict[str, object]] = None
+    #: How the trial was served when profiling was on: ``"diff"`` or
+    #: ``"full:<reason>"`` (``None`` on unprofiled records).
+    served: Optional[str] = None
 
     def to_report(self, spec: FaultSpec) -> QuarantineReport:
         q = self.quarantine or {}
@@ -237,7 +241,8 @@ class CampaignJournal:
                 try:
                     raw = json.loads(line)
                     body = {k: raw[k] for k in
-                            ("i", "spec", "outcome", "obs", "q") if k in raw}
+                            ("i", "spec", "outcome", "obs", "q", "sv")
+                            if k in raw}
                     if raw.get("dg") != _digest(body)[:12]:
                         continue
                     obs = _decode_observation(raw["obs"]) \
@@ -246,6 +251,7 @@ class CampaignJournal:
                         index=int(raw["i"]), spec_fp=str(raw["spec"]),
                         outcome=str(raw["outcome"]), observation=obs,
                         quarantine=raw.get("q"),
+                        served=raw.get("sv"),
                     )
                 except (KeyError, TypeError, ValueError):
                     continue
@@ -262,20 +268,30 @@ class CampaignJournal:
 
     # -- appends ----------------------------------------------------------
     def _append(self, payload: Dict[str, object]) -> None:
-        payload["dg"] = _digest(payload)[:12]
-        self._fh.write(json.dumps(payload, sort_keys=True,
-                                  separators=(",", ":")) + "\n")
-        self._fh.flush()
+        with get_profiler().phase(PHASE_JOURNAL_APPEND):
+            payload["dg"] = _digest(payload)[:12]
+            self._fh.write(json.dumps(payload, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+            self._fh.flush()
         self.appended += 1
 
     def append_trial(
         self, index: int, spec: FaultSpec, outcome: str, obs: TrialObservation,
+        served: Optional[str] = None,
     ) -> None:
-        """Journal one classified trial (flushed before returning)."""
-        self._append({
+        """Journal one classified trial (flushed before returning).
+
+        ``served`` is the optional differential attribution tag
+        (``"diff"`` / ``"full:<reason>"``); the digest covers only the
+        keys present, so tagged and untagged records interoperate.
+        """
+        payload: Dict[str, object] = {
             "i": index, "spec": spec_fingerprint(spec), "outcome": outcome,
             "obs": _encode_observation(obs),
-        })
+        }
+        if served is not None:
+            payload["sv"] = served
+        self._append(payload)
 
     def append_quarantine(self, report: QuarantineReport) -> None:
         """Journal one quarantined spec with its structured report."""

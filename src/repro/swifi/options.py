@@ -58,6 +58,14 @@ class CampaignOptions:
     #: classified as a hang (the existing failure class).  ``None``
     #: disables the deadline.
     trial_timeout: Optional[float] = None
+    #: Attribute wall-clock to campaign phases with a
+    #: :class:`repro.obs.profile.PhaseProfiler`; journaled campaigns
+    #: additionally persist ``profile.json`` next to the journal.
+    profile: bool = False
+    #: Render a live TTY progress line (bar, rate, ETA, outcome
+    #: tallies) on stderr while the campaign runs.  Never affects
+    #: results: progress-on campaigns are bit-identical to progress-off.
+    progress: bool = False
 
     def __post_init__(self) -> None:
         if self.trial_timeout is not None and self.trial_timeout <= 0:

@@ -45,6 +45,7 @@ raised *inside* a trial propagate unchanged on both paths.
 
 from __future__ import annotations
 
+import json
 import os
 import warnings
 from dataclasses import dataclass, field
@@ -72,6 +73,23 @@ from repro.obs.instrument import (
     record_worker_death,
 )
 from repro.obs.metrics import fresh_registry, get_registry
+from repro.obs.profile import (
+    PHASE_FULL_RUN,
+    PHASE_MERGE,
+    PHASE_PARSE_BUILD,
+    PHASE_QUARANTINE,
+    PHASE_RETRY_BACKOFF,
+    PhaseProfiler,
+    get_profiler,
+    served_tag,
+    set_profiler,
+    use_profiler,
+)
+from repro.obs.progress import (
+    HEARTBEAT_FILENAME,
+    HeartbeatMonitor,
+    ProgressRenderer,
+)
 from repro.swifi.campaign import (
     CampaignResult,
     QuarantineReport,
@@ -119,6 +137,12 @@ class ChunkResult:
     #: parent tracer was enabled when the pool was created).
     trace_records: List[Dict[str, Any]] = field(default_factory=list)
     worker_pid: int = 0
+    #: Per-trial cost records (``PhaseProfiler.end_trial``), parallel to
+    #: ``observations``; empty when profiling is off.
+    costs: List[Optional[Dict[str, Any]]] = field(default_factory=list)
+    #: Phase totals accumulated on this worker since its previous chunk
+    #: (``PhaseProfiler.take_totals``); empty when profiling is off.
+    phase_totals: Dict[str, List[float]] = field(default_factory=dict)
 
 
 @dataclass
@@ -142,7 +166,17 @@ def _make_runner(program, mode, seed, differential):
         from repro.swifi.differential import differential_runner
 
         return differential_runner(program, mode, seed)
-    return program.trial_runner(mode, seed)
+    full = program.trial_runner(mode, seed)
+
+    def full_runner(spec):
+        if spec is None:
+            return full(spec)
+        prof = get_profiler()
+        prof.note_served("full", "differential_off")
+        with prof.phase(PHASE_FULL_RUN, reason="differential_off"):
+            return full(spec)
+
+    return full_runner
 
 
 def _guarded_runner(runner, timeout: Optional[float]):
@@ -190,11 +224,13 @@ def _init_worker(program, mode, options: CampaignOptions, runner_factory,
     global _STATE
     set_tracer(None)
     fresh_registry()
+    set_profiler(PhaseProfiler() if options.profile else None)
     if runner_factory is not None:
         runner = runner_factory()
     else:
-        build = program.build(mode)
-        program.runtime.prepare(build.kernel)
+        with get_profiler().phase(PHASE_PARSE_BUILD):
+            build = program.build(mode)
+            program.runtime.prepare(build.kernel)
         runner = _make_runner(program, mode, options.seed, options.differential)
     _STATE = _WorkerState(
         runner=_guarded_runner(runner, options.trial_timeout),
@@ -208,17 +244,22 @@ def _run_chunk(items) -> ChunkResult:
     if state is None:
         raise InjectionError("campaign worker used before initialization")
     registry = fresh_registry()
+    profiler = get_profiler()
     observations: List[TrialObservation] = []
     outcomes: List[str] = []
+    costs: List[Optional[Dict[str, Any]]] = []
     counts = OutcomeCounts()
 
     def execute() -> None:
-        for _index, spec in items:
+        for index, spec in items:
+            profiler.begin_trial(index)
             obs = state.runner(spec)
+            cost = profiler.end_trial()
             outcome = classify_outcome(obs.failure, obs.detected, obs.output_ok)
             counts.add(outcome)
             observations.append(obs)
             outcomes.append(outcome.value)
+            costs.append(cost)
 
     trace_records: List[Dict[str, Any]] = []
     if state.capture_trace:
@@ -236,6 +277,8 @@ def _run_chunk(items) -> ChunkResult:
         metrics=registry.as_dict(),
         trace_records=trace_records,
         worker_pid=os.getpid(),
+        costs=costs if profiler.enabled else [],
+        phase_totals=profiler.take_totals(),
     )
 
 
@@ -290,12 +333,63 @@ def _absorb_replayed(result, spec, record: JournalRecord, tracer) -> None:
         absorb_trial(result, spec, record.observation, tracer)
 
 
+# -- flight recorder plumbing ----------------------------------------------
+
+
+def _open_monitor(
+    program, spec_list, options: CampaignOptions,
+    journal: Optional[CampaignJournal],
+) -> Optional[HeartbeatMonitor]:
+    """The campaign's heartbeat monitor, or ``None`` when nothing listens.
+
+    Heartbeats exist whenever there is a consumer: a ``--progress``
+    renderer, or a journal directory (where ``heartbeats.jsonl`` is the
+    liveness record a fleet scheduler polls).  A fresh — non-resumed —
+    run truncates stale heartbeats, mirroring the journal's semantics.
+    """
+    renderer = None
+    if options.progress:
+        label = program.workload.name if program is not None else "campaign"
+        renderer = ProgressRenderer(label=label)
+    path: Optional[str] = None
+    if journal is not None:
+        heartbeat_path = journal.directory / HEARTBEAT_FILENAME
+        if not options.resuming and heartbeat_path.exists():
+            heartbeat_path.unlink()
+        path = str(heartbeat_path)
+    if renderer is None and path is None:
+        return None
+    return HeartbeatMonitor(total=len(spec_list), path=path, renderer=renderer)
+
+
+def _outcome_tally(counts: OutcomeCounts) -> Dict[str, int]:
+    """Non-zero outcome tallies keyed by outcome value."""
+    return {o.value: c for o, c in counts.counts.items() if c}
+
+
+def _replayed_tally(replayed: Dict[int, JournalRecord]) -> Dict[str, int]:
+    """Outcome tallies of the journal-replayed prefix."""
+    tally: Dict[str, int] = {}
+    for record in replayed.values():
+        tally[record.outcome] = tally.get(record.outcome, 0) + 1
+    return tally
+
+
+def _write_profile(journal: CampaignJournal, profiler: PhaseProfiler) -> None:
+    """Persist the campaign's phase totals next to its journal."""
+    payload = {"version": 1, "phases": profiler.snapshot()}
+    path = journal.directory / "profile.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
 # -- execution paths -------------------------------------------------------
 
 
 def _run_serial(
     program, spec_list, mode, options: CampaignOptions, runner_factory,
-    journal, replayed,
+    journal, replayed, monitor: Optional[HeartbeatMonitor] = None,
 ) -> CampaignResult:
     """In-process path: journal-aware, deadline-guarded trial loop.
 
@@ -308,13 +402,21 @@ def _run_serial(
     def get_runner():
         nonlocal runner
         if runner is None:
-            base = runner_factory() if runner_factory is not None else \
-                _make_runner(program, mode, options.seed, options.differential)
+            if runner_factory is not None:
+                base = runner_factory()
+            else:
+                with get_profiler().phase(PHASE_PARSE_BUILD):
+                    build = program.build(mode)
+                    program.runtime.prepare(build.kernel)
+                base = _make_runner(
+                    program, mode, options.seed, options.differential
+                )
             runner = _guarded_runner(base, options.trial_timeout)
         return runner
 
     result = CampaignResult()
     tracer = get_tracer()
+    profiler = get_profiler()
     with tracer.span(
         "swifi.campaign", workers=1, planned_trials=len(spec_list),
         replayed=len(replayed),
@@ -322,12 +424,22 @@ def _run_serial(
         for i, spec in enumerate(spec_list):
             record = replayed.get(i)
             if record is not None:
-                _absorb_replayed(result, spec, record, tracer)
+                with profiler.phase(PHASE_MERGE):
+                    _absorb_replayed(result, spec, record, tracer)
                 continue
+            profiler.begin_trial(i)
             obs = get_runner()(spec)
-            outcome = absorb_trial(result, spec, obs, tracer)
+            cost = profiler.end_trial()
+            with profiler.phase(PHASE_MERGE):
+                outcome = absorb_trial(result, spec, obs, tracer)
             if journal is not None:
-                journal.append_trial(i, spec, outcome.value, obs)
+                journal.append_trial(
+                    i, spec, outcome.value, obs, served=served_tag(cost)
+                )
+            if monitor is not None:
+                monitor.advance(
+                    1, {outcome.value: 1}, source="serial", force=False
+                )
         record_campaign(result)
         span.set(**result.summary())
     return result
@@ -336,8 +448,10 @@ def _run_serial(
 def _run_pooled(
     program, spec_list, pending, mode, options: CampaignOptions,
     runner_factory, journal, replayed, n_workers,
+    monitor: Optional[HeartbeatMonitor] = None,
 ) -> CampaignResult:
     """Fork-pool path: resilient chunk map, then ordered merge."""
+    profiler = get_profiler()
     if runner_factory is None:
         # Warm the parent before forking: the translated build, the
         # compiled kernel, the campaign input/golden, and (under
@@ -345,8 +459,9 @@ def _run_pooled(
         # inherited by every worker, so per-worker init is a cache hit
         # and the translator/golden metrics are recorded once,
         # parent-side.
-        build = program.build(mode)
-        program.runtime.prepare(build.kernel)
+        with profiler.phase(PHASE_PARSE_BUILD):
+            build = program.build(mode)
+            program.runtime.prepare(build.kernel)
         _make_runner(program, mode, options.seed, options.differential)
 
     tracer = get_tracer()
@@ -370,10 +485,18 @@ def _run_pooled(
                 f"trials, expected {len(chunk_items)}"
             )
         if journal is not None:
-            for (idx, spec), obs, outcome in zip(
-                chunk_items, chunk.observations, chunk.outcomes
+            costs = chunk.costs or [None] * len(chunk_items)
+            for (idx, spec), obs, outcome, cost in zip(
+                chunk_items, chunk.observations, chunk.outcomes, costs
             ):
-                journal.append_trial(idx, spec, outcome, obs)
+                journal.append_trial(
+                    idx, spec, outcome, obs, served=served_tag(cost)
+                )
+        if monitor is not None:
+            monitor.advance(
+                len(chunk_items), _outcome_tally(chunk.counts),
+                pid=chunk.worker_pid, source="chunk",
+            )
 
     def on_event(kind: str, **attrs: Any) -> None:
         if kind == "worker_death":
@@ -382,6 +505,7 @@ def _run_pooled(
             tracer.event("swifi.worker_death", **attrs)
         elif kind == "retry":
             record_retry_round()
+            profiler.add(PHASE_RETRY_BACKOFF, attrs.get("delay", 0.0))
             tracer.event("swifi.retry", **attrs)
 
     result = CampaignResult()
@@ -404,6 +528,7 @@ def _run_pooled(
                 for (idx, _spec), obs in zip(chunk_items, chunk.observations):
                     obs_by_index[idx] = obs
                 registry.merge_dict(chunk.metrics)
+                profiler.absorb_totals(chunk.phase_totals)
                 for record in chunk.trace_records:
                     tracer.event(
                         "swifi.worker.trace", chunk=chunk.index, record=record
@@ -421,20 +546,26 @@ def _run_pooled(
             )
             quarantines[idx] = report
             record_quarantine()
+            profiler.add(PHASE_QUARANTINE, 0.0)
             if journal is not None:
                 journal.append_quarantine(report)
+            if monitor is not None:
+                monitor.advance(
+                    1, {Outcome.WORKER_KILLED.value: 1}, source="chunk"
+                )
 
         # the deterministic merge: original spec order, one absorb per
         # spec, regardless of which path (journal, chunk, quarantine)
         # produced it
-        for i, spec in enumerate(spec_list):
-            record = replayed.get(i)
-            if record is not None:
-                _absorb_replayed(result, spec, record, tracer)
-            elif i in quarantines:
-                absorb_quarantined(result, quarantines[i], tracer)
-            else:
-                absorb_trial(result, spec, obs_by_index[i], tracer)
+        with profiler.phase(PHASE_MERGE):
+            for i, spec in enumerate(spec_list):
+                record = replayed.get(i)
+                if record is not None:
+                    _absorb_replayed(result, spec, record, tracer)
+                elif i in quarantines:
+                    absorb_quarantined(result, quarantines[i], tracer)
+                else:
+                    absorb_trial(result, spec, obs_by_index[i], tracer)
         record_campaign(result)
         span.set(**result.summary())
     return result
@@ -484,24 +615,35 @@ def run_campaign(
         "differential": differential,
     })
     spec_list = list(specs)
-    journal, replayed = _open_journal(program, spec_list, mode, options)
-    try:
-        pending = [(i, spec) for i, spec in enumerate(spec_list)
-                   if i not in replayed]
-        if journal is not None:
-            record_journal_activity(replayed=len(replayed))
-        n_workers = resolve_workers(options.workers)
-        n_workers = min(n_workers, max(1, len(pending)))
-        if n_workers <= 1 or not fork_available():
-            return _run_serial(
-                program, spec_list, mode, options, runner_factory,
-                journal, replayed,
+    profiler = PhaseProfiler() if options.profile else None
+    with use_profiler(profiler):
+        journal, replayed = _open_journal(program, spec_list, mode, options)
+        monitor = _open_monitor(program, spec_list, options, journal)
+        try:
+            pending = [(i, spec) for i, spec in enumerate(spec_list)
+                       if i not in replayed]
+            if journal is not None:
+                record_journal_activity(replayed=len(replayed))
+            if replayed and monitor is not None:
+                monitor.advance(
+                    len(replayed), _replayed_tally(replayed), source="replay"
+                )
+            n_workers = resolve_workers(options.workers)
+            n_workers = min(n_workers, max(1, len(pending)))
+            if n_workers <= 1 or not fork_available():
+                return _run_serial(
+                    program, spec_list, mode, options, runner_factory,
+                    journal, replayed, monitor,
+                )
+            return _run_pooled(
+                program, spec_list, pending, mode, options, runner_factory,
+                journal, replayed, n_workers, monitor,
             )
-        return _run_pooled(
-            program, spec_list, pending, mode, options, runner_factory,
-            journal, replayed, n_workers,
-        )
-    finally:
-        if journal is not None:
-            record_journal_activity(appended=journal.appended)
-            journal.close()
+        finally:
+            if monitor is not None:
+                monitor.close()
+            if journal is not None:
+                if profiler is not None:
+                    _write_profile(journal, profiler)
+                record_journal_activity(appended=journal.appended)
+                journal.close()
