@@ -17,10 +17,20 @@ Measures trials/second for seeded fault-injection campaigns run through
   legitimately measures near-1x — those configs carry
   ``"cpu_limited": true`` so downstream readers don't mistake a
   scheduling artifact for a regression.
+* **execution engine** — the vectorized array-program engine vs the
+  closure interpreter, on a grid large enough for vectorization to pay
+  (the default workload inputs are deliberately tiny).  Fault-free
+  full-grid launches are asserted >= 10x; a mode-``fi`` full campaign
+  is also timed, where crash/hang trials bail the vector engine into a
+  scalar rerun and bound the speedup exactly like hang trials bound
+  differential replay (Amdahl).
 
 Every configuration of a workload must produce the same ``summary()``
 (the determinism contract); results land in ``BENCH_campaign.json`` at
-the repo root.
+the repo root.  The payload records the active scale preset: comparing
+a ``smoke`` payload against a ``campaign`` baseline produces phantom
+regressions (trial counts differ), which is what
+``scripts/bench_trend.py``'s scale guard exists to catch.
 """
 
 from __future__ import annotations
@@ -41,7 +51,9 @@ from repro.swifi import (
     run_campaign,
     select_targets,
 )
+from repro.swifi.campaign import Campaign
 from repro.workloads import get_workload
+from repro.workloads.cp import CPWorkload
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 WORKER_COUNTS = (1, 2, 4)
@@ -98,8 +110,12 @@ def _profiler_overhead(prog, specs):
     }
 
 
-def _config(key, workers, differential, elapsed, n_trials, baseline):
+def _config(key, workers, differential, elapsed, n_trials, baseline,
+            engine="closure"):
     entry = {
+        # the fift campaigns bind a CombinedLibrary, which the vector
+        # engine does not serve — these configs run the scalar paths
+        "engine": engine,
         "workers": workers,
         "differential": differential,
         "seconds": round(elapsed, 4),
@@ -109,6 +125,136 @@ def _config(key, workers, differential, elapsed, n_trials, baseline):
     if workers > 1 and os.cpu_count() == 1:
         entry["cpu_limited"] = True
     return key, entry
+
+
+def _scale_name():
+    """Mirror of conftest's preset selection, for payload labelling."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "").lower()
+    return "smoke" if raw == "smoke" else "campaign"
+
+
+#: Engine-comparison sizing: the default workload inputs are tiny (64
+#: CP threads), where per-statement Python overhead hides the array
+#: programs' advantage.  These grids are still far below the paper's
+#: 512x512 slice but large enough that vectorization dominates.
+_ENGINE_SIZING = {
+    "smoke": {"numatoms": 64, "volx": 32, "voly": 16, "reps": 2,
+              "n_trials": 10},
+    "campaign": {"numatoms": 96, "volx": 64, "voly": 32, "reps": 3,
+                 "n_trials": 16},
+}
+
+
+def _engine_comparison(scale, scale_name):
+    """Vector vs closure: fault-free full launches + a mode-fi campaign.
+
+    Returns ``(section, rows)`` — the ``engine_comparison`` payload
+    section and report-table rows.  Launch results and campaign
+    summaries are asserted bit-identical across engines (the vectorized
+    engine's contract), and the fault-free full-grid launch must clear
+    10x.
+    """
+    sizing = _ENGINE_SIZING[scale_name]
+    wl_kw = {k: sizing[k] for k in ("numatoms", "volx", "voly")}
+
+    # -- fault-free full-grid launches (the vectorized fast path) -----
+    launch_seconds = {}
+    launch_results = {}
+    for engine in ("closure", "vector"):
+        wl = CPWorkload(**wl_kw)
+        prog = HauberkProgram(wl)
+        prog.runtime.engine = engine
+        inp = wl.generate_input(0)
+        args, _ = wl.setup_memory(prog.device, inp)
+        result = prog.runtime.launch(wl.kernel, inp.grid, inp.block, args,
+                                     budget=wl.hang_budget)  # warm compile
+        best = float("inf")
+        for _ in range(sizing["reps"]):
+            args, _ = wl.setup_memory(prog.device, inp)
+            start = time.perf_counter()
+            result = prog.runtime.launch(wl.kernel, inp.grid, inp.block,
+                                         args, budget=wl.hang_budget)
+            best = min(best, time.perf_counter() - start)
+        launch_seconds[engine] = best
+        launch_results[engine] = result
+    assert launch_results["vector"] == launch_results["closure"], \
+        "vector launch diverged from closure"
+    launch_speedup = launch_seconds["closure"] / launch_seconds["vector"]
+
+    # -- mode-fi full campaign (vector + targeted-lane scalar replay;
+    # crash/hang trials bail to scalar reruns and bound the speedup) --
+    camp_seconds = {}
+    camp_summaries = {}
+    n_trials = sizing["n_trials"]
+    for engine in ("closure", "vector"):
+        wl = CPWorkload(**wl_kw)
+        prog = HauberkProgram(wl)
+        prog.runtime.engine = engine
+        rng = np.random.default_rng(scale.seed + 2077)
+        sites = select_targets(wl.kernel, scale.max_targets, rng)
+        inp = wl.generate_input(0)
+        specs = build_fault_specs(
+            sites, n_threads=inp.n_threads,
+            masks_per_site=scale.masks_per_site, bit_counts=(1, 6),
+            seed=scale.seed + 2077,
+        )[:n_trials]
+        runner = prog.trial_runner("fi", 0)
+        runner(specs[0])  # warm every shared cache outside the timer
+        start = time.perf_counter()
+        campaign = Campaign(runner).run(specs)
+        camp_seconds[engine] = time.perf_counter() - start
+        camp_summaries[engine] = campaign.summary()
+    assert camp_summaries["vector"] == camp_summaries["closure"], \
+        "vector campaign diverged from closure"
+    camp_speedup = camp_seconds["closure"] / camp_seconds["vector"]
+
+    n_threads = (wl_kw["volx"] // 2) * wl_kw["voly"]
+    section = {
+        "workload": "CP",
+        "workload_params": wl_kw,
+        "n_threads": n_threads,
+        "configs": {
+            "launch-full-closure": {
+                "engine": "closure", "differential": False,
+                "seconds": round(launch_seconds["closure"], 4),
+                "launches_per_sec": round(1.0 / launch_seconds["closure"], 2),
+            },
+            "launch-full-vector": {
+                "engine": "vector", "differential": False,
+                "seconds": round(launch_seconds["vector"], 4),
+                "launches_per_sec": round(1.0 / launch_seconds["vector"], 2),
+                "speedup_vs_closure": round(launch_speedup, 2),
+            },
+            "w1-full-fi-closure": {
+                "engine": "closure", "differential": False,
+                "mode": "fi", "n_trials": n_trials,
+                "seconds": round(camp_seconds["closure"], 4),
+                "trials_per_sec": round(n_trials / camp_seconds["closure"], 2),
+            },
+            "w1-full-fi-vector": {
+                "engine": "vector", "differential": False,
+                "mode": "fi", "n_trials": n_trials,
+                "seconds": round(camp_seconds["vector"], 4),
+                "trials_per_sec": round(n_trials / camp_seconds["vector"], 2),
+                "speedup_vs_closure": round(camp_speedup, 2),
+            },
+        },
+    }
+    rows = [
+        ("launch-full", f"{n_threads} thr",
+         f"{launch_seconds['closure'] * 1e3:.0f}ms",
+         f"{launch_seconds['vector'] * 1e3:.0f}ms",
+         f"{launch_speedup:.1f}x"),
+        (f"campaign-fi ({n_trials} trials)", f"{n_threads} thr",
+         f"{camp_seconds['closure']:.2f}s",
+         f"{camp_seconds['vector']:.2f}s",
+         f"{camp_speedup:.1f}x"),
+    ]
+    # the engine's reason to exist: full-grid execution must clear 10x
+    # on a vectorization-sized grid (campaign speedup is Amdahl-bound
+    # by crash/hang trials, which rerun scalar — reported, not gated)
+    assert launch_speedup >= 10.0, section
+    return section, rows
 
 
 def test_campaign_throughput(scale, report):
@@ -173,12 +319,17 @@ def test_campaign_throughput(scale, report):
         if name == "CP":
             overhead = _profiler_overhead(prog, specs)
 
+    scale_name = _scale_name()
+    engines, engine_rows = _engine_comparison(scale, scale_name)
+
     payload = {
         "benchmark": "campaign_throughput",
         "mode": "fift",
+        "scale": scale_name,
         "cpu_count": os.cpu_count(),
         "fork_available": fork_available(),
         "workloads": workloads,
+        "engine_comparison": engines,
         "overhead": overhead,
     }
     (REPO_ROOT / "BENCH_campaign.json").write_text(
@@ -190,6 +341,12 @@ def test_campaign_throughput(scale, report):
         ["workload", "config", "workers", "diff", "wall time", "trials/s",
          "speedup", "cpu-limited"],
         rows,
+    ))
+    report(format_table(
+        f"Engine comparison - CP {engines['n_threads']} threads, "
+        f"{scale_name} scale",
+        ["config", "grid", "closure", "vector", "speedup"],
+        engine_rows,
     ))
     report(
         f"profiler overhead (CP w1-diff, best of 3): "

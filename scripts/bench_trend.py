@@ -22,6 +22,14 @@ Tracked metrics are ratios/rates where more is better
 where less is better.  Absolute wall times are *not* compared — they
 shift with the host; the ratios are what the paper's claims rest on.
 
+Payloads that record a ``scale`` preset are only compared against a
+baseline recorded at the *same* preset: a ``smoke`` payload checked
+against a ``campaign`` baseline (or vice versa) produces phantom
+regressions from the differing trial counts and grid sizes, not from
+any code change — exactly the failure mode that once flagged the CP
+differential campaign as 3x slower when only the preset had changed.
+Mismatched scales skip the check with an explanatory note.
+
 Usage::
 
     python scripts/bench_trend.py --record      # set today's baseline
@@ -158,6 +166,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if baseline is None:
             print(f"bench-trend: no baseline for {name} "
                   f"(run with --record first); appended to {trend}")
+            continue
+        cur_scale = payload.get("scale")
+        base_scale = baseline.get("scale")
+        if cur_scale != base_scale and (cur_scale or base_scale):
+            # different presets measure different workloads entirely —
+            # comparing them reports phantom regressions, not real ones
+            print(f"bench-trend: {name}: scale mismatch "
+                  f"(current {cur_scale!r} vs baseline {base_scale!r}) — "
+                  f"skipping check; re-record the baseline at this scale")
             continue
         found = _check(name, payload, baseline, args.threshold)
         regressions.extend(found)

@@ -75,11 +75,24 @@ def _campaign_parent() -> argparse.ArgumentParser:
     grp.add_argument("--profile", action="store_true",
                      help="attribute wall-clock to campaign phases; "
                           "journaled campaigns also write profile.json")
+    grp.add_argument("--engine",
+                     choices=("auto", "vector", "closure", "lockstep"),
+                     help="kernel execution engine (default auto: "
+                          "vectorized array programs where bit-exact, "
+                          "scalar fallback otherwise)")
     return parent
 
 
 def _resolve_scale(args):
     """The preset named by --scale, with the campaign flags folded in."""
+    if getattr(args, "engine", None):
+        # runtimes (including fork workers) consult the env at build
+        # time, so one setting covers every launch of the invocation
+        import os
+
+        from repro.gpu.runtime import ENGINE_ENV_VAR
+
+        os.environ[ENGINE_ENV_VAR] = args.engine
     scale = _SCALES[args.scale]
     changes = {}
     workers = getattr(args, "workers", None)

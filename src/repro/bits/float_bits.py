@@ -15,10 +15,17 @@ import struct
 _PACK_F = struct.Struct("<f")
 _PACK_I = struct.Struct("<i")
 _PACK_U = struct.Struct("<I")
+_PACK_D = struct.Struct("<d")
+_PACK_Q = struct.Struct("<Q")
 
 _U32 = 0xFFFFFFFF
 _I32_MIN = -(2**31)
 _I32_MAX = 2**31 - 1
+
+_F32_SIGN = 0x80000000
+_F32_EXP = 0x7F800000
+_F32_MANT = 0x007FFFFF
+_F32_QUIET = 0x00400000
 
 
 def wrap_i32(value: int) -> int:
@@ -33,8 +40,20 @@ def float_to_bits(value: float) -> int:
     """Reinterpret a float as its binary32 bit pattern (unsigned 32-bit).
 
     Values outside float32 range become +/-inf exactly as a float32
-    register would hold them.
+    register would hold them.  NaNs keep their binary32 payload — the
+    top 23 mantissa bits of the float64 NaN, including a clear quiet
+    bit — because the struct conversion path would silently set the
+    quiet bit and break ``flip_float_bits`` involution for masks whose
+    flip lands on a signaling-NaN pattern.
     """
+    if value != value:
+        dbits = _PACK_Q.unpack(_PACK_D.pack(value))[0]
+        mant = (dbits >> 29) & _F32_MANT
+        if mant == 0:
+            # payload lives only in the low float64 bits: not
+            # representable in binary32, collapse to the default qNaN
+            mant = _F32_QUIET
+        return ((dbits >> 32) & _F32_SIGN) | _F32_EXP | mant
     try:
         return _PACK_U.unpack(_PACK_F.pack(value))[0]
     except OverflowError:
@@ -44,8 +63,17 @@ def float_to_bits(value: float) -> int:
 
 
 def bits_to_float(bits: int) -> float:
-    """Reinterpret an unsigned 32-bit pattern as a binary32 float."""
-    return _PACK_F.unpack(_PACK_U.pack(bits & _U32))[0]
+    """Reinterpret an unsigned 32-bit pattern as a binary32 float.
+
+    NaN patterns are widened bitwise (payload shifted into the float64
+    mantissa) instead of through a C float cast, which would quieten
+    signaling NaNs and lose the distinction ``float_to_bits`` preserves.
+    """
+    bits &= _U32
+    if bits & _F32_EXP == _F32_EXP and bits & _F32_MANT:
+        dbits = ((bits & _F32_SIGN) << 32) | (0x7FF << 52) | ((bits & _F32_MANT) << 29)
+        return _PACK_D.unpack(_PACK_Q.pack(dbits))[0]
+    return _PACK_F.unpack(_PACK_U.pack(bits))[0]
 
 
 def int_to_bits(value: int) -> int:

@@ -10,8 +10,11 @@ device's parallel width and register-spill factor.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.errors import CompileError, KernelCrash, KernelHang, LaunchError
 from repro.exec.cache import ephemeral_cache
@@ -23,9 +26,24 @@ from repro.kir.astnodes import Kernel
 from repro.kir.interp.compiler import CompiledKernel
 from repro.kir.interp.evalcore import ExecContext, InstrumentationLibrary
 from repro.kir.interp.lockstep import LockstepProgram
+from repro.kir.interp.vector import (
+    BAIL_REPLAY_FAILURE,
+    FALLBACK_LIBRARY,
+    FALLBACK_RECORDER,
+    VectorBailout,
+    VectorizedKernel,
+    VectorReplayGuard,
+    vectorize_obstacle,
+)
 from repro.kir.types import DType
 from repro.obs.events import get_tracer
-from repro.obs.instrument import record_launch, record_launch_failure
+from repro.obs.instrument import (
+    record_launch,
+    record_launch_failure,
+    record_vector_fallback,
+    record_vectorized_launch,
+)
+from repro.obs.profile import PHASE_VECTOR_RUN, get_profiler
 
 Dim = Union[int, Tuple[int, int]]
 
@@ -38,6 +56,32 @@ MAX_THREADS_PER_BLOCK = 512
 #: kernels alive, and no recycled-``id`` staleness.  The cache resets
 #: across ``Kernel.clone()`` and pickling (see ``repro.exec.cache``).
 PREPARED_CACHE_ATTR = "_hauberk_prepared"
+
+#: Sibling caches for the vectorized program and a forced lockstep
+#: program (same lifetime rules as ``PREPARED_CACHE_ATTR``).
+VECTOR_CACHE_ATTR = "_hauberk_vector"
+LOCKSTEP_CACHE_ATTR = "_hauberk_lockstep"
+
+#: Engine-selection seam.  ``auto`` serves eligible launches from the
+#: vectorized engine and falls back to the scalar engines (closure, or
+#: lockstep for barrier kernels); ``vector`` is ``auto`` in intent but
+#: the explicit spelling for tests/benches; ``closure`` forces the
+#: legacy scalar selection; ``lockstep`` forces the lockstep
+#: interpreter for every kernel.
+ENGINE_AUTO = "auto"
+ENGINE_VECTOR = "vector"
+ENGINE_CLOSURE = "closure"
+ENGINE_LOCKSTEP = "lockstep"
+ENGINES = (ENGINE_AUTO, ENGINE_VECTOR, ENGINE_CLOSURE, ENGINE_LOCKSTEP)
+
+#: Environment override consulted when a runtime is built without an
+#: explicit ``engine`` (the harness/CLI plumb ``--engine`` through it).
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def default_engine() -> str:
+    """Engine used when neither runtime nor launch names one."""
+    return os.environ.get(ENGINE_ENV_VAR, ENGINE_AUTO)
 
 
 def _normalize_dim(dim: Dim, what: str) -> Tuple[int, int]:
@@ -77,9 +121,17 @@ class LaunchResult:
 class GPURuntime:
     """Launches KIR kernels on one simulated device."""
 
-    def __init__(self, device: Optional[Device] = None, costmodel: Optional[CostModel] = None):
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        costmodel: Optional[CostModel] = None,
+        engine: Optional[str] = None,
+    ):
         self.device = device if device is not None else Device()
         self.costmodel = costmodel if costmodel is not None else CostModel()
+        self.engine = engine if engine is not None else default_engine()
+        if self.engine not in ENGINES:
+            raise LaunchError(f"unknown execution engine {self.engine!r}")
 
     # -- preparation -----------------------------------------------------
     def prepare(self, kernel: Kernel):
@@ -114,6 +166,49 @@ class GPURuntime:
         cache[id(self.costmodel)] = (self.costmodel, entry)
         return entry
 
+    def prepare_vector(self, kernel: Kernel):
+        """Vector-compile a kernel (cached); ``(program, obstacle)``.
+
+        Exactly one of the pair is ``None``: either the compiled
+        :class:`~repro.kir.interp.vector.VectorizedKernel`, or the
+        static reason (``uses_sync``/``shared_memory``/``atomics``) the
+        kernel cannot vectorize.  The obstacle is cached too, so
+        ineligible kernels pay the AST walk once.
+        """
+        cache = ephemeral_cache(kernel, VECTOR_CACHE_ATTR)
+        key = id(self.costmodel)
+        hit = cache.get(key)
+        if hit is not None:
+            if hit[0] is self.costmodel:
+                return hit[1]
+            del cache[key]
+        obstacle = vectorize_obstacle(kernel)
+        if obstacle is not None:
+            entry = (None, obstacle)
+        else:
+            with get_tracer().span("kir.vector.compile", kernel=kernel.name) as span:
+                vprog = VectorizedKernel(kernel, self.costmodel)
+                span.set(
+                    divergent_branches=vprog.divergent_branches,
+                    varying_names=len(vprog.varying),
+                )
+            entry = (vprog, None)
+        cache[key] = (self.costmodel, entry)
+        return entry
+
+    def prepare_lockstep(self, kernel: Kernel):
+        """Lockstep-compile any kernel (cached); for forced-engine runs."""
+        cache = ephemeral_cache(kernel, LOCKSTEP_CACHE_ATTR)
+        key = id(self.costmodel)
+        hit = cache.get(key)
+        if hit is not None:
+            if hit[0] is self.costmodel:
+                return hit[1]
+            del cache[key]
+        entry = (LockstepProgram(kernel, self.costmodel), register_pressure(kernel))
+        cache[key] = (self.costmodel, entry)
+        return entry
+
     # -- launching ---------------------------------------------------------
     def launch(
         self,
@@ -124,6 +219,7 @@ class GPURuntime:
         lib: Optional[InstrumentationLibrary] = None,
         budget: int = 2_000_000,
         recorder=None,
+        engine: Optional[str] = None,
     ) -> LaunchResult:
         """Run the kernel over the whole grid.
 
@@ -137,10 +233,22 @@ class GPURuntime:
         execution: ``attach(memory)`` returns the memory view threads
         run against, and ``begin_thread(ctx)`` / ``end_thread(ctx)``
         bracket each thread.  The normal path pays nothing — the hooks
-        are per-thread branches, and memory stays unwrapped.
+        are per-thread branches, and memory stays unwrapped.  A
+        recorder exposing ``absorb_vector_records(vres)`` can instead
+        be fed one vectorized sweep's per-lane records.
+
+        ``engine`` overrides the runtime's engine for this launch (see
+        :data:`ENGINES`).  The vectorized engine is bit-exact with the
+        scalar interpreters: any launch it cannot serve exactly
+        (library side effects, cross-lane data flow, lane failures)
+        falls back transparently, counted in
+        ``repro_kir_vector_fallbacks_total``.
         """
         if not self.device.enabled:
             raise LaunchError(f"device {self.device.device_id} is disabled")
+        eng = engine if engine is not None else self.engine
+        if eng not in ENGINES:
+            raise LaunchError(f"unknown execution engine {eng!r}")
         gx, gy = _normalize_dim(grid, "grid")
         bx, by = _normalize_dim(block, "block")
         if bx * by > MAX_THREADS_PER_BLOCK:
@@ -152,22 +260,43 @@ class GPURuntime:
                 f"kernel {kernel.name} uses __syncthreads; per-thread "
                 "recording needs the closure path"
             )
-        prog, pressure = self.prepare(kernel)
+        if recorder is not None and eng == ENGINE_LOCKSTEP:
+            raise LaunchError("per-thread recording needs the closure path")
+        if eng == ENGINE_LOCKSTEP:
+            prog, pressure = self.prepare_lockstep(kernel)
+        else:
+            prog, pressure = self.prepare(kernel)
         base_frame = self._lower_args(kernel, args)
         base_frame["gridDim.x"] = gx
         base_frame["gridDim.y"] = gy
         base_frame["blockDim.x"] = bx
         base_frame["blockDim.y"] = by
 
-        ctx = ExecContext(self.device.memory, lib=lib, budget=budget)
-        if recorder is not None:
-            ctx.swap_memory(recorder.attach(self.device.memory))
         n_threads = gx * gy * bx * by
         shared_decls = kernel.shared
         with get_tracer().span(
             "gpu.launch", kernel=kernel.name, device=self.device.device_id,
             grid=[gx, gy], block=[bx, by], n_threads=n_threads,
         ) as span:
+            if eng in (ENGINE_AUTO, ENGINE_VECTOR):
+                result = self._attempt_vector(
+                    kernel, pressure, base_frame, gx, gy, bx, by,
+                    n_threads, lib, budget, recorder,
+                )
+                if result is not None:
+                    span.set(
+                        engine=ENGINE_VECTOR,
+                        total_cycles=result.total_cycles,
+                        kernel_time=result.kernel_time,
+                        loop_fraction=result.loop_fraction,
+                        spill_factor=result.spill_factor,
+                        register_pressure=pressure,
+                    )
+                    return result
+
+            ctx = ExecContext(self.device.memory, lib=lib, budget=budget)
+            if recorder is not None:
+                ctx.swap_memory(recorder.attach(self.device.memory))
             try:
                 self._run_grid(kernel, prog, ctx, base_frame, gx, gy, bx, by,
                                shared_decls, recorder)
@@ -205,6 +334,104 @@ class GPURuntime:
             )
         return result
 
+    def _attempt_vector(
+        self, kernel, pressure, base_frame, gx, gy, bx, by,
+        n_threads, lib, budget, recorder,
+    ) -> Optional[LaunchResult]:
+        """Serve the launch from the vectorized engine, or ``None``.
+
+        Gating happens first (static obstacle, incompatible library,
+        recorder without vector support); a gated launch costs one
+        counter bump.  An eligible launch runs all lanes as one array
+        program — with an FI-targeted lane excluded and replayed
+        scalar afterwards behind :class:`VectorReplayGuard`.  Any
+        :class:`VectorBailout` restores the pre-launch memory snapshot
+        and returns ``None`` so the scalar engines rerun the launch
+        from scratch, reproducing failures (and their post-crash
+        memory) exactly as the sequential semantics dictate.
+        """
+        vprog, reason = self.prepare_vector(kernel)
+        excluded = None
+        if reason is None and lib is not None:
+            if not getattr(lib, "vector_compatible", False):
+                reason = FALLBACK_LIBRARY
+            else:
+                excluded = lib.vector_excluded_gtid(n_threads)
+        if reason is None and recorder is not None:
+            if not hasattr(recorder, "absorb_vector_records"):
+                reason = FALLBACK_RECORDER
+            elif excluded is not None:
+                # golden recording is fault-free by construction; a
+                # recorder plus an armed injector is a scalar-path job
+                reason = FALLBACK_RECORDER
+        if reason is not None:
+            record_vector_fallback(kernel.name, reason)
+            return None
+
+        memory = self.device.memory
+        snapshot = memory.snapshot()
+        lanes = np.arange(n_threads, dtype=np.int64)
+        if excluded is not None:
+            lanes = np.delete(lanes, excluded)
+        guard = None
+        try:
+            with get_profiler().phase(PHASE_VECTOR_RUN):
+                vres = vprog.run_lanes(
+                    memory, base_frame, gx, gy, bx, by, lanes, budget,
+                    record_footprints=recorder is not None,
+                )
+                extra_cycles = 0.0
+                extra_loop = 0.0
+                extra_steps = 0
+                if excluded is not None:
+                    guard = VectorReplayGuard(memory, excluded, vres)
+                    ctx = ExecContext(guard, lib=lib, budget=budget)
+                    blk, tib = divmod(excluded, bx * by)
+                    fr = dict(base_frame)
+                    fr["blockIdx.x"] = blk % gx
+                    fr["blockIdx.y"] = blk // gx
+                    fr["threadIdx.x"] = tib % bx
+                    fr["threadIdx.y"] = tib // bx
+                    compiled, _ = self.prepare(kernel)
+                    try:
+                        compiled.run_thread_at(fr, ctx, blk, tib)
+                    except (KernelCrash, KernelHang):
+                        # rerun sequentially so the failure surfaces
+                        # with its exact scalar-path memory state
+                        raise VectorBailout(BAIL_REPLAY_FAILURE)
+                    extra_cycles = ctx.cycles
+                    extra_loop = ctx.loop_cycles
+                    extra_steps = ctx.steps
+        except VectorBailout as exc:
+            if guard is not None:
+                guard.rollback()
+            memory.restore(snapshot)
+            if lib is not None:
+                lib.vector_reset()
+            record_vector_fallback(kernel.name, exc.reason)
+            return None
+
+        if recorder is not None:
+            recorder.absorb_vector_records(vres)
+        lanes_hw = min(n_threads, self.device.spec.parallel_lanes)
+        spill = self.costmodel.spill_factor(
+            pressure, self.device.spec.registers_per_thread
+        )
+        total = vres.total_cycles + extra_cycles
+        result = LaunchResult(
+            kernel_name=kernel.name,
+            n_threads=n_threads,
+            total_cycles=total,
+            loop_cycles=vres.total_loop_cycles + extra_loop,
+            kernel_time=total / lanes_hw * spill,
+            register_pressure=pressure,
+            spill_factor=spill,
+            max_thread_steps=max(vres.max_steps, extra_steps),
+        )
+        record_vectorized_launch(kernel.name)
+        record_launch(result)
+        return result
+
     def _run_grid(self, kernel, prog, ctx, base_frame, gx, gy, bx, by,
                   shared_decls, recorder=None) -> None:
         """Execute every thread of the grid (the measured inner loop).
@@ -216,8 +443,8 @@ class GPURuntime:
         only against declared arrays).
         """
         no_shared = {} if not shared_decls else None
-        uses_sync = kernel.uses_sync
-        run_thread = None if uses_sync else prog.run_thread
+        lockstep = isinstance(prog, LockstepProgram)
+        run_thread = None if lockstep else prog.run_thread
         for block_y in range(gy):
             for block_x in range(gx):
                 block = block_y * gx + block_x
@@ -229,7 +456,7 @@ class GPURuntime:
                 block_frame = dict(base_frame)
                 block_frame["blockIdx.x"] = block_x
                 block_frame["blockIdx.y"] = block_y
-                if uses_sync:
+                if lockstep:
                     frames = []
                     for ty in range(by):
                         for tx in range(bx):

@@ -17,6 +17,9 @@ stack:
     Full grid execution of a trial; labelled with the fallback
     ``reason`` (``differential_off``, ``replay_conflict``, kernel
     ineligibility reasons, ...).
+``vector_run``
+    Whole-grid array-program execution inside a launch (the
+    vectorized engine), including any FI-targeted scalar replay.
 ``merge``
     The parent's deterministic result merge (absorb in spec order).
 ``journal_append``
@@ -57,6 +60,7 @@ PHASE_PARSE_BUILD = "parse_build"
 PHASE_GOLDEN_RECORD = "golden_record"
 PHASE_DIFF_REPLAY = "diff_replay"
 PHASE_FULL_RUN = "full_run"
+PHASE_VECTOR_RUN = "vector_run"
 PHASE_MERGE = "merge"
 PHASE_JOURNAL_APPEND = "journal_append"
 PHASE_RETRY_BACKOFF = "retry_backoff"
@@ -68,6 +72,7 @@ PHASES = (
     PHASE_GOLDEN_RECORD,
     PHASE_DIFF_REPLAY,
     PHASE_FULL_RUN,
+    PHASE_VECTOR_RUN,
     PHASE_MERGE,
     PHASE_JOURNAL_APPEND,
     PHASE_RETRY_BACKOFF,

@@ -151,6 +151,25 @@ class _GoldenRecorder:
             footprint=self.memory.fp,
         ))
 
+    def absorb_vector_records(self, vres) -> None:
+        """Fill ``threads`` from one vectorized sweep's per-lane records.
+
+        The vectorized engine produces the whole grid's cost columns
+        and footprints in one pass (lanes are gtid-ordered), replacing
+        the per-thread ``begin_thread``/``end_thread`` bracketing.
+        """
+        self.threads = [
+            ThreadRecord(
+                cycles=float(c),
+                loop_cycles=float(lc),
+                steps=int(s),
+                footprint=fp,
+            )
+            for c, lc, s, fp in zip(
+                vres.cycles, vres.loop_cycles, vres.steps, vres.footprints
+            )
+        ]
+
 
 class DifferentialEngine:
     """Replays single faulted threads against a memoized golden launch."""
