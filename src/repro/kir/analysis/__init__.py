@@ -67,3 +67,21 @@ __all__ += [
     "is_warp_uniform",
     "thread_varying_names",
 ]
+
+from repro.kir.analysis.sections import (  # noqa: E402
+    Section,
+    affected_sections,
+    kernel_sections,
+    section_dependencies,
+    section_fingerprints,
+    site_section_map,
+)
+
+__all__ += [
+    "Section",
+    "affected_sections",
+    "kernel_sections",
+    "section_dependencies",
+    "section_fingerprints",
+    "site_section_map",
+]

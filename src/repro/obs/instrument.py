@@ -29,6 +29,9 @@ repro_swifi_diff_hits_total                 counter    --
 repro_swifi_diff_fallbacks_total            counter    reason
 repro_swifi_journal_replayed_total          counter    --
 repro_swifi_journal_appends_total           counter    --
+repro_swifi_plan_strata_total               counter    --
+repro_swifi_plan_trials_saved_total         counter    --
+repro_swifi_sections_stale_total            counter    --
 repro_swifi_worker_deaths_total             counter    phase
 repro_swifi_retry_rounds_total              counter    --
 repro_swifi_quarantined_total               counter    --
@@ -221,6 +224,34 @@ def record_journal_activity(replayed: int = 0, appended: int = 0) -> None:
             "repro_swifi_journal_appends_total",
             "Trial records appended to campaign journals",
         ).inc(appended)
+
+
+def record_plan(strata: int, trials_saved: int) -> None:
+    """One stratified campaign plan built (swifi/planner.py).
+
+    ``strata`` is the number of equivalence classes the spec population
+    partitioned into; ``trials_saved`` the population minus the sampled
+    budget — the enumeration the planner avoided executing.
+    """
+    reg = get_registry()
+    reg.counter(
+        "repro_swifi_plan_strata_total",
+        "Strata across stratified campaign plans",
+    ).inc(strata)
+    if trials_saved:
+        reg.counter(
+            "repro_swifi_plan_trials_saved_total",
+            "Enumerated trials skipped by stratified campaign plans",
+        ).inc(trials_saved)
+
+
+def record_stale_sections(count: int) -> None:
+    """Sections invalidated during an incremental journal adoption."""
+    if count:
+        get_registry().counter(
+            "repro_swifi_sections_stale_total",
+            "Kernel sections found stale during incremental resume",
+        ).inc(count)
 
 
 def record_worker_death(phase: str, count: int = 1) -> None:

@@ -47,9 +47,11 @@ def _summarize_records(records: List[JournalRecord]) -> Dict[str, Any]:
     """``CampaignResult.summary()`` reconstructed from journal records.
 
     Mirrors the arithmetic exactly: integer tallies per outcome class,
-    ``activation_ratio`` as mean of the activated flags (quarantined
-    trials count as not activated, as ``absorb_quarantined`` records
-    them), and every ratio 0.0 on a zero-trial campaign.
+    ``activation_ratio`` as mean of the activated flags over *executed*
+    trials (quarantined ``WORKER_KILLED`` placeholders never observed
+    activation and are excluded from the denominator, exactly as
+    ``CampaignResult.activation_ratio`` excludes them), and every
+    ratio 0.0 on a zero-trial campaign.
     """
     counts = {o.value: 0 for o in Outcome}
     activated = 0
@@ -61,18 +63,57 @@ def _summarize_records(records: List[JournalRecord]) -> Dict[str, Any]:
         elif record.observation.activated:
             activated += 1
     total = len(records)
+    executed = total - counts[Outcome.WORKER_KILLED.value]
     empty = not total
     undetected = counts[Outcome.UNDETECTED.value]
     sdc_ratio = undetected / total if total else 0.0
     return {
         "trials": total,
         "outcomes": counts,
-        "activation_ratio": activated / total if total else 0.0,
+        "activation_ratio": activated / executed if executed else 0.0,
         "coverage": 0.0 if empty else 1.0 - sdc_ratio,
         "sdc_ratio": sdc_ratio,
         "failure_ratio": counts[Outcome.FAILURE.value] / total if total else 0.0,
         "quarantined": quarantined,
     }
+
+
+def _section_table(
+    records: List[JournalRecord], confidence: float = 0.95
+) -> Dict[str, Any]:
+    """Per-section outcome rates with Wilson CIs, from section tags.
+
+    Records without a section tag (pre-section journals, program-less
+    campaigns) are grouped under ``"?"``; sections are reported in
+    name order for determinism.  Quarantined placeholders are excluded
+    from the rate denominators (operational, not fault-model).
+    """
+    from repro.swifi.planner import wilson_interval
+
+    killed = Outcome.WORKER_KILLED.value
+    by_section: Dict[str, List[JournalRecord]] = {}
+    for record in records:
+        by_section.setdefault(record.section or "?", []).append(record)
+    table: Dict[str, Any] = {}
+    for section in sorted(by_section):
+        group = [r for r in by_section[section] if r.outcome != killed]
+        n = len(group)
+        sdc = sum(1 for r in group if r.outcome == Outcome.UNDETECTED.value)
+        failures = sum(1 for r in group if r.outcome == Outcome.FAILURE.value)
+        detected = sum(
+            1 for r in group
+            if r.outcome in (Outcome.DETECTED.value,
+                             Outcome.DETECTED_MASKED.value)
+        )
+        lo, hi = wilson_interval(sdc, n, confidence)
+        table[section] = {
+            "trials": n,
+            "sdc_ratio": sdc / n if n else 0.0,
+            "sdc_ci": [round(lo, 6), round(hi, 6)],
+            "failure_ratio": failures / n if n else 0.0,
+            "detected_ratio": detected / n if n else 0.0,
+        }
+    return table
 
 
 def _differential_attribution(records: List[JournalRecord]) -> Dict[str, Any]:
@@ -240,6 +281,14 @@ def build_report(
             "differential": _differential_attribution(records),
             "quarantine": _quarantine_timeline(records),
         }
+        plan = meta.get("plan")
+        if isinstance(plan, dict):
+            entry["plan"] = plan
+        if any(r.section is not None for r in records):
+            confidence = 0.95
+            if isinstance(plan, dict):
+                confidence = float(plan.get("confidence", 0.95))
+            entry["sections"] = _section_table(records, confidence)
         if include_timing:
             entry["timing"] = _campaign_timing(directory)
         campaigns.append(entry)
@@ -307,6 +356,31 @@ def render_markdown(report: Dict[str, Any]) -> str:
             f"- quarantined: {summary['quarantined']}",
             "",
         ])
+        plan = campaign.get("plan")
+        if plan:
+            out.append("### Plan")
+            out.append("")
+            out.append(
+                f"{plan.get('method', '?')} sampling: "
+                f"{plan.get('budget', 0)}/{plan.get('population', 0)} trials "
+                f"across {plan.get('strata', 0)} strata "
+                f"({int(plan.get('confidence', 0.95) * 100)}% confidence, "
+                f"seed {plan.get('seed', 0)})."
+            )
+            out.append("")
+        sections = campaign.get("sections")
+        if sections:
+            out.append("### Sections")
+            out.append("")
+            out.extend(_md_table(
+                ["section", "trials", "SDC ratio", "CI",
+                 "failure ratio", "detected ratio"],
+                [[name, s["trials"], f"{s['sdc_ratio']:.4f}",
+                  f"[{s['sdc_ci'][0]:.4f}, {s['sdc_ci'][1]:.4f}]",
+                  f"{s['failure_ratio']:.4f}", f"{s['detected_ratio']:.4f}"]
+                 for name, s in sections.items()],
+            ))
+            out.append("")
         diff = campaign["differential"]
         out.append("### Differential attribution")
         out.append("")

@@ -74,6 +74,9 @@ class CampaignResult:
     #: Reports for specs quarantined by the fault-tolerant pool; their
     #: trials carry :data:`Outcome.WORKER_KILLED` in :attr:`trials`.
     quarantined: List[QuarantineReport] = field(default_factory=list)
+    #: Planner payload (:func:`repro.swifi.planner.estimate_plan`) when
+    #: the campaign ran under a stratified budget; ``None`` otherwise.
+    plan: Optional[dict] = None
 
     def add(self, trial: TrialResult) -> None:
         self.trials.append(trial)
@@ -81,9 +84,20 @@ class CampaignResult:
 
     @property
     def activation_ratio(self) -> float:
-        if not self.trials:
+        """Fraction of *executed* trials whose fault actually fired.
+
+        ``WORKER_KILLED`` placeholders never executed to the point of
+        observing activation — their synthetic observation always says
+        ``activated=False`` — so they are excluded from the
+        denominator; counting them would bias the ratio low on
+        quarantine-heavy runs.  Mirrors the zero-trial guard: a
+        campaign of only quarantined specs reports 0.0.
+        """
+        executed = [t for t in self.trials
+                    if t.outcome is not Outcome.WORKER_KILLED]
+        if not executed:
             return 0.0
-        return sum(t.observation.activated for t in self.trials) / len(self.trials)
+        return sum(t.observation.activated for t in executed) / len(executed)
 
     def summary(self) -> dict:
         """Machine-readable campaign digest (the shared tally).
@@ -91,14 +105,16 @@ class CampaignResult:
         Used by the metrics layer and the figure harnesses instead of
         re-counting outcomes ad hoc; keys: ``trials``, ``outcomes`` (by
         class name), ``activation_ratio``, ``coverage``, ``sdc_ratio``,
-        ``failure_ratio``, ``quarantined``.
+        ``failure_ratio``, ``quarantined``, plus ``plan`` (per-stratum
+        and per-section estimates with confidence intervals) when the
+        campaign ran under a stratified budget.
 
         A zero-trial campaign reports every ratio as 0.0 — including
         ``coverage``, which would otherwise read 1 - 0/0 and claim
         perfect detection for an experiment that measured nothing.
         """
         empty = not self.trials
-        return {
+        out = {
             "trials": len(self.trials),
             "outcomes": {o.value: self.counts.counts[o] for o in Outcome},
             "activation_ratio": self.activation_ratio,
@@ -107,15 +123,34 @@ class CampaignResult:
             "failure_ratio": self.counts.failure_ratio,
             "quarantined": len(self.quarantined),
         }
+        if self.plan is not None:
+            out["plan"] = self.plan
+        return out
 
     def filter(self, predicate: Callable[[TrialResult], bool]) -> "CampaignResult":
+        """Sub-campaign of the trials satisfying ``predicate``.
+
+        Quarantine evidence travels with its trial: a report whose
+        ``WORKER_KILLED`` placeholder passes the predicate appears in
+        the view's ``quarantined`` list too, so filtered summaries
+        keep accounting for specs that never produced an observation.
+        The planner payload does *not* carry over — its population
+        weights describe the whole campaign, not the subset.
+        """
         sub = CampaignResult()
         for t in self.trials:
             if predicate(t):
                 sub.add(t)
+        kept = [t.spec for t in sub.trials
+                if t.outcome is Outcome.WORKER_KILLED]
+        for report in self.quarantined:
+            if report.spec in kept:
+                sub.quarantined.append(report)
+                kept.remove(report.spec)
         return sub
 
     def by_bits(self, n_bits: int) -> "CampaignResult":
+        """Sub-campaign of trials whose fault flipped ``n_bits`` bits."""
         return self.filter(lambda t: t.spec.n_bits == n_bits)
 
 

@@ -75,8 +75,16 @@ def spec_fingerprint(spec: FaultSpec) -> str:
     ])[:12]
 
 
-def _input_digest(program: "HauberkProgram", seed: int) -> str:
-    """Digest of the fixed campaign input and its golden output."""
+def _input_digest(
+    program: "HauberkProgram", seed: int, include_golden: bool = True
+) -> str:
+    """Digest of the fixed campaign input (and usually its golden output).
+
+    ``include_golden=False`` digests the *problem* alone: the incremental
+    donor check uses it, because a kernel edit legitimately changes the
+    golden output while leaving the input — and the unaffected sections'
+    trial outcomes — untouched.
+    """
     inp, golden = program.campaign_io(seed)
     parts: List[object] = [
         sorted(inp.scalars.items()), list(inp.grid), list(inp.block),
@@ -88,7 +96,8 @@ def _input_digest(program: "HauberkProgram", seed: int) -> str:
             hashlib.sha256(data.tobytes()).hexdigest() if data is not None
             else None,
         ])
-    parts.append(hashlib.sha256(golden.tobytes()).hexdigest())
+    if include_golden:
+        parts.append(hashlib.sha256(golden.tobytes()).hexdigest())
     return _digest(parts)
 
 
@@ -106,7 +115,9 @@ def campaign_fingerprint(
     (no program) fingerprint the plan alone under a ``"<runner>"``
     program identity.
     """
+    sections: Optional[Dict[str, str]] = None
     if program is not None:
+        from repro.kir.analysis.sections import section_fingerprints
         from repro.swifi.differential import control_block_token
 
         program.build(mode)  # fift/ft: configure the control block first
@@ -118,6 +129,10 @@ def campaign_fingerprint(
             "input": _input_digest(program, seed),
             "control_block": _digest(cb_token),
         }
+        sections = section_fingerprints(
+            program.workload.kernel,
+            program.cb if mode in ("ft", "fift") else None,
+        )
     else:
         components = {"workload": "<runner>", "kernel": "", "input": "",
                       "control_block": ""}
@@ -128,6 +143,14 @@ def campaign_fingerprint(
     fingerprint = _digest(components)
     meta = {"version": JOURNAL_VERSION, "fingerprint": fingerprint,
             "components": components}
+    if sections is not None:
+        # per-section content fingerprints plus a golden-free input
+        # digest: the incremental-resume compatibility check (meta-only
+        # — not part of the campaign fingerprint, so pre-existing
+        # journals stay addressable)
+        meta["sections"] = sections
+        meta["input_data"] = _input_digest(program, seed,
+                                           include_golden=False)
     return fingerprint, meta
 
 
@@ -143,6 +166,9 @@ class JournalRecord:
     #: How the trial was served when profiling was on: ``"diff"`` or
     #: ``"full:<reason>"`` (``None`` on unprofiled records).
     served: Optional[str] = None
+    #: Dataflow section of the injected site (``None`` on pre-section
+    #: records and program-less campaigns); the incremental-resume key.
+    section: Optional[str] = None
 
     def to_report(self, spec: FaultSpec) -> QuarantineReport:
         q = self.quarantine or {}
@@ -241,7 +267,7 @@ class CampaignJournal:
                 try:
                     raw = json.loads(line)
                     body = {k: raw[k] for k in
-                            ("i", "spec", "outcome", "obs", "q", "sv")
+                            ("i", "spec", "outcome", "obs", "q", "sv", "sec")
                             if k in raw}
                     if raw.get("dg") != _digest(body)[:12]:
                         continue
@@ -252,6 +278,7 @@ class CampaignJournal:
                         outcome=str(raw["outcome"]), observation=obs,
                         quarantine=raw.get("q"),
                         served=raw.get("sv"),
+                        section=raw.get("sec"),
                     )
                 except (KeyError, TypeError, ValueError):
                     continue
@@ -277,13 +304,15 @@ class CampaignJournal:
 
     def append_trial(
         self, index: int, spec: FaultSpec, outcome: str, obs: TrialObservation,
-        served: Optional[str] = None,
+        served: Optional[str] = None, section: Optional[str] = None,
     ) -> None:
         """Journal one classified trial (flushed before returning).
 
         ``served`` is the optional differential attribution tag
-        (``"diff"`` / ``"full:<reason>"``); the digest covers only the
-        keys present, so tagged and untagged records interoperate.
+        (``"diff"`` / ``"full:<reason>"``); ``section`` is the injected
+        site's dataflow section (the incremental-resume key).  The
+        digest covers only the keys present, so tagged and untagged
+        records interoperate.
         """
         payload: Dict[str, object] = {
             "i": index, "spec": spec_fingerprint(spec), "outcome": outcome,
@@ -291,16 +320,119 @@ class CampaignJournal:
         }
         if served is not None:
             payload["sv"] = served
+        if section is not None:
+            payload["sec"] = section
         self._append(payload)
 
-    def append_quarantine(self, report: QuarantineReport) -> None:
+    def append_quarantine(self, report: QuarantineReport,
+                          section: Optional[str] = None) -> None:
         """Journal one quarantined spec with its structured report."""
-        self._append({
+        payload: Dict[str, object] = {
             "i": report.index, "spec": spec_fingerprint(report.spec),
             "outcome": "worker_killed", "obs": None,
             "q": {"deaths": report.deaths, "rounds": report.rounds,
                   "note": report.note},
-        })
+        }
+        if section is not None:
+            payload["sec"] = section
+        self._append(payload)
+
+    # -- incremental adoption ----------------------------------------------
+    def adopt_compatible(
+        self,
+        root: str,
+        meta: Dict[str, object],
+        wanted: List[Tuple[int, str, Optional[str]]],
+        affected_fn,
+    ) -> Tuple[Dict[int, JournalRecord], set]:
+        """Adopt replayable records from sibling journals after an edit.
+
+        ``wanted`` lists this campaign's unserved plan positions as
+        ``(index, spec fingerprint, section)``; ``affected_fn`` maps a
+        set of changed section names to the set of sections whose
+        dependency closure they touch (see
+        :func:`repro.kir.analysis.sections.affected_sections`).
+
+        A sibling journal under ``root`` is a donor when its meta
+        records the same workload, mode, and seed.  For each donor the
+        changed set is the symmetric fingerprint difference between its
+        ``sections`` map and ours; a wanted record is adopted only when
+        its spec fingerprint matches, its section tag matches, and its
+        section lies *outside* the donor's affected closure — i.e. no
+        edited code feeds the injection site or sits on the fault's
+        propagation path.  Quarantine records are never adopted (the
+        spec deserves a fresh chance under the new build).
+
+        Adopted records are re-appended to *this* journal at their new
+        plan positions, so a later plain resume replays them directly.
+        Returns ``(adopted by index, union of stale section names)``.
+        """
+        ours = meta.get("sections")
+        components = meta.get("components", {})
+        if not isinstance(ours, dict) or not wanted:
+            return {}, set()
+        adopted: Dict[int, JournalRecord] = {}
+        stale_union: set = set()
+        for directory in sorted(Path(root).iterdir()):
+            if directory == self.directory or not directory.is_dir():
+                continue
+            meta_path = directory / "meta.json"
+            try:
+                sibling = json.loads(meta_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            theirs = sibling.get("sections")
+            sib_components = sibling.get("components", {})
+            if not isinstance(theirs, dict):
+                continue
+            if any(sib_components.get(k) != components.get(k)
+                   for k in ("workload", "mode", "seed")):
+                continue
+            # the golden-free digest: an edit moves the golden output
+            # (and the full "input" component with it) without touching
+            # the problem the recorded trials actually ran on
+            if sibling.get("input_data") != meta.get("input_data") or \
+                    meta.get("input_data") is None:
+                continue
+            changed = {name for name in set(ours) | set(theirs)
+                       if ours.get(name) != theirs.get(name)}
+            stale = affected_fn(changed)
+            stale_union |= stale
+            by_fp: Dict[str, List[JournalRecord]] = {}
+            for record in sorted(
+                self._load_records(directory / "journal.jsonl").values(),
+                key=lambda r: r.index,
+            ):
+                by_fp.setdefault(record.spec_fp, []).append(record)
+            for index, spec_fp, section in wanted:
+                if index in adopted or section is None or section in stale:
+                    continue
+                candidates = by_fp.get(spec_fp, [])
+                for pos, record in enumerate(candidates):
+                    if record.section == section and \
+                            record.observation is not None:
+                        candidates.pop(pos)
+                        payload: Dict[str, object] = {
+                            "i": index, "spec": spec_fp,
+                            "outcome": record.outcome,
+                            "obs": _encode_observation(record.observation),
+                            "sec": section,
+                        }
+                        if record.served is not None:
+                            payload["sv"] = record.served
+                        self._append(payload)
+                        new_record = JournalRecord(
+                            index=index, spec_fp=spec_fp,
+                            outcome=record.outcome,
+                            observation=record.observation,
+                            served=record.served, section=section,
+                        )
+                        self._records[(index, spec_fp)] = new_record
+                        adopted[index] = new_record
+                        break
+            if len(adopted) == len(wanted):
+                break
+        return adopted, stale_union
 
     def close(self) -> None:
         if self._fh.closed:

@@ -67,8 +67,10 @@ from repro.obs.instrument import (
     record_campaign,
     record_journal_activity,
     record_parallel_campaign,
+    record_plan,
     record_quarantine,
     record_retry_round,
+    record_stale_sections,
     record_trial_timeout,
     record_worker_death,
 )
@@ -304,16 +306,91 @@ def _coerce_options(options: Optional[CampaignOptions],
     return CampaignOptions(**supplied)
 
 
+def _section_context(program, spec_list):
+    """Per-spec section names plus the staleness-closure callback.
+
+    Returns ``(sec_of, affected_fn)``: ``sec_of[i]`` is the dataflow
+    section of ``spec_list[i]``'s injection site, and ``affected_fn``
+    closes a set of changed section names over the section dependency
+    graph.  Program-less campaigns have no kernel to partition —
+    ``(None, None)``.
+    """
+    if program is None:
+        return None, None
+    from repro.kir.analysis.sections import (
+        affected_sections,
+        kernel_sections,
+        site_section_map,
+    )
+
+    kernel = program.workload.kernel
+    sections = kernel_sections(kernel)
+    site_map = site_section_map(kernel, sections)
+    sec_of = [site_map.get(spec.site) for spec in spec_list]
+
+    def affected_fn(changed):
+        return affected_sections(sections, changed)
+
+    return sec_of, affected_fn
+
+
+def _build_campaign_plan(program, spec_list, mode, options: CampaignOptions,
+                         runner_factory):
+    """Build the stratified plan for ``options.budget``, piloting if asked.
+
+    Neyman allocation needs per-stratum variance, which only exists
+    after observing outcomes — so ``plan="neyman"`` first runs a small
+    proportional pilot (a quarter of the budget, serial, unjournaled,
+    unprofiled) and feeds its per-stratum SDC tallies into the
+    allocator.  The pilot is extra execution cost on top of the
+    budget; it buys tighter intervals when strata variances differ.
+    """
+    from repro.swifi.planner import build_plan, pilot_tallies
+
+    kernel = program.workload.kernel if program is not None else None
+    method = options.plan or "stratified"
+    pilot = None
+    if method == "neyman":
+        pilot_budget = max(1, options.budget // 4)
+        pilot_plan = build_plan(
+            spec_list, pilot_budget, kernel=kernel, method="stratified",
+            confidence=options.confidence, seed=options.seed + 1,
+        )
+        pilot_options = options.evolve(
+            budget=None, plan=None, run_dir=None, resume=None,
+            profile=False, progress=False, workers=1,
+        )
+        pilot_result = run_campaign(
+            program, pilot_plan.selected_specs(spec_list), mode,
+            pilot_options, runner_factory=runner_factory,
+        )
+        pilot = pilot_tallies(pilot_plan, pilot_result.trials)
+    return build_plan(
+        spec_list, options.budget, kernel=kernel, method=method,
+        confidence=options.confidence, seed=options.seed, pilot=pilot,
+    )
+
+
 def _open_journal(
     program, spec_list, mode, options: CampaignOptions,
+    plan=None, sec_of=None, affected_fn=None,
 ) -> Tuple[Optional[CampaignJournal], Dict[int, JournalRecord]]:
-    """Open the campaign journal and index its replayable records."""
+    """Open the campaign journal and index its replayable records.
+
+    On resume, plan positions the exact-fingerprint journal cannot
+    serve are offered to sibling journals for **incremental adoption**
+    (:meth:`CampaignJournal.adopt_compatible`): records from sections
+    whose fingerprint and dependency closure survived the edit replay
+    instead of re-executing.
+    """
     root = options.journal_root
     if root is None:
         return None, {}
     fingerprint, meta = campaign_fingerprint(
         program, spec_list, mode, options.seed
     )
+    if plan is not None:
+        meta["plan"] = plan.meta()
     journal = CampaignJournal.open(
         root, fingerprint, meta, resume=options.resuming
     )
@@ -322,6 +399,15 @@ def _open_journal(
         record = journal.match(i, spec_fingerprint(spec))
         if record is not None:
             replayed[i] = record
+    if options.resuming and sec_of is not None and affected_fn is not None:
+        wanted = [(i, spec_fingerprint(spec), sec_of[i])
+                  for i, spec in enumerate(spec_list) if i not in replayed]
+        if wanted:
+            adopted, stale = journal.adopt_compatible(
+                root, meta, wanted, affected_fn
+            )
+            record_stale_sections(len(stale))
+            replayed.update(adopted)
     return journal, replayed
 
 
@@ -390,6 +476,7 @@ def _write_profile(journal: CampaignJournal, profiler: PhaseProfiler) -> None:
 def _run_serial(
     program, spec_list, mode, options: CampaignOptions, runner_factory,
     journal, replayed, monitor: Optional[HeartbeatMonitor] = None,
+    sec_of: Optional[List[Optional[str]]] = None,
 ) -> CampaignResult:
     """In-process path: journal-aware, deadline-guarded trial loop.
 
@@ -434,7 +521,8 @@ def _run_serial(
                 outcome = absorb_trial(result, spec, obs, tracer)
             if journal is not None:
                 journal.append_trial(
-                    i, spec, outcome.value, obs, served=served_tag(cost)
+                    i, spec, outcome.value, obs, served=served_tag(cost),
+                    section=sec_of[i] if sec_of is not None else None,
                 )
             if monitor is not None:
                 monitor.advance(
@@ -449,6 +537,7 @@ def _run_pooled(
     program, spec_list, pending, mode, options: CampaignOptions,
     runner_factory, journal, replayed, n_workers,
     monitor: Optional[HeartbeatMonitor] = None,
+    sec_of: Optional[List[Optional[str]]] = None,
 ) -> CampaignResult:
     """Fork-pool path: resilient chunk map, then ordered merge."""
     profiler = get_profiler()
@@ -490,7 +579,8 @@ def _run_pooled(
                 chunk_items, chunk.observations, chunk.outcomes, costs
             ):
                 journal.append_trial(
-                    idx, spec, outcome, obs, served=served_tag(cost)
+                    idx, spec, outcome, obs, served=served_tag(cost),
+                    section=sec_of[idx] if sec_of is not None else None,
                 )
         if monitor is not None:
             monitor.advance(
@@ -548,7 +638,9 @@ def _run_pooled(
             record_quarantine()
             profiler.add(PHASE_QUARANTINE, 0.0)
             if journal is not None:
-                journal.append_quarantine(report)
+                journal.append_quarantine(
+                    report, section=sec_of[idx] if sec_of is not None else None
+                )
             if monitor is not None:
                 monitor.advance(
                     1, {Outcome.WORKER_KILLED.value: 1}, source="chunk"
@@ -606,6 +698,13 @@ def run_campaign(
       of aborting the campaign (``RetryPolicy(max_deaths=0)`` restores
       the strict crash-surfacing behaviour).
 
+    With ``options.budget`` the enumerated ``specs`` become a
+    *population*: a seeded stratified plan
+    (:mod:`repro.swifi.planner`) samples ``budget`` of them, the
+    campaign runs only the sample, and the result carries
+    population-extrapolated estimates with confidence intervals in
+    ``result.plan`` / ``summary()["plan"]``.
+
     ``runner_factory`` overrides ``program.trial_runner`` (used by
     tests to exercise the pool without a full program; the factory is
     called once per worker, inside the worker).
@@ -615,9 +714,26 @@ def run_campaign(
         "differential": differential,
     })
     spec_list = list(specs)
+    plan = None
+    if options.budget is not None and spec_list:
+        plan = _build_campaign_plan(
+            program, spec_list, mode, options, runner_factory
+        )
+        record_plan(len(plan.strata), plan.trials_saved)
+        get_tracer().event(
+            "swifi.plan", method=plan.method, budget=plan.budget,
+            population=plan.population, strata=len(plan.strata),
+            trials_saved=plan.trials_saved,
+        )
+        spec_list = plan.selected_specs(spec_list)
     profiler = PhaseProfiler() if options.profile else None
     with use_profiler(profiler):
-        journal, replayed = _open_journal(program, spec_list, mode, options)
+        sec_of, affected_fn = (None, None) if options.journal_root is None \
+            else _section_context(program, spec_list)
+        journal, replayed = _open_journal(
+            program, spec_list, mode, options,
+            plan=plan, sec_of=sec_of, affected_fn=affected_fn,
+        )
         monitor = _open_monitor(program, spec_list, options, journal)
         try:
             pending = [(i, spec) for i, spec in enumerate(spec_list)
@@ -631,14 +747,21 @@ def run_campaign(
             n_workers = resolve_workers(options.workers)
             n_workers = min(n_workers, max(1, len(pending)))
             if n_workers <= 1 or not fork_available():
-                return _run_serial(
+                result = _run_serial(
                     program, spec_list, mode, options, runner_factory,
-                    journal, replayed, monitor,
+                    journal, replayed, monitor, sec_of,
                 )
-            return _run_pooled(
-                program, spec_list, pending, mode, options, runner_factory,
-                journal, replayed, n_workers, monitor,
-            )
+            else:
+                result = _run_pooled(
+                    program, spec_list, pending, mode, options,
+                    runner_factory, journal, replayed, n_workers, monitor,
+                    sec_of,
+                )
+            if plan is not None:
+                from repro.swifi.planner import estimate_plan
+
+                result.plan = estimate_plan(plan, result.trials)
+            return result
         finally:
             if monitor is not None:
                 monitor.close()

@@ -1,0 +1,572 @@
+"""Statistical campaign planner: stratified sampling over fault strata.
+
+A full enumeration campaign runs every ``(site, mask, thread)`` spec it
+generated; the figures only need *rates*, and rates come cheap when
+the population is stratified well.  Following the Two-Level Model
+(Hari et al., PAPERS.md) the planner groups the spec population into
+**strata** — tuples of
+
+* the kernel **section** defining the injected site
+  (:mod:`repro.kir.analysis.sections`),
+* the site's **sensitivity class** (pointer / integer / fp, Figure 1),
+* the mask's **bit band** (where the highest flipped bit lands), and
+* the victim **thread band** (quartile of the thread id range) —
+
+then allocates a trial budget across strata (proportional by default,
+Neyman from pilot rates when variance estimates exist) and samples
+seeded, without replacement, inside each stratum.  Outcome rates come
+back population-extrapolated with finite-population-corrected normal
+confidence intervals plus per-stratum Wilson intervals; per-section
+rates compose into whole-program estimates the FastFlip way
+(:func:`compose_rates`).
+
+Everything here is pure planning/estimation arithmetic — no execution.
+:func:`repro.swifi.parallel.run_campaign` calls :func:`build_plan`
+when ``options.budget`` is set and :func:`estimate_plan` after the
+sampled campaign completes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InjectionError
+from repro.swifi.faultmodel import FaultSpec
+from repro.swifi.outcomes import Outcome
+
+#: Bit bands by the *highest* flipped bit: low bits perturb values
+#: slightly (often masked), high bits blow up magnitudes or signs, and
+#: the top band dominates pointer/loop-bound corruption (Figure 1's
+#: asymmetry).  Boundaries chosen for 32-bit words.
+BIT_BANDS = (("low", 0, 15), ("mid", 16, 25), ("high", 26, 63))
+
+#: Thread-id quartiles; boundary threads (first/last warps) behave
+#: differently from interior ones on edge-guarded kernels.
+THREAD_BANDS = 4
+
+#: Allocation methods accepted by :func:`build_plan`.
+PLAN_METHODS = ("stratified", "neyman")
+
+#: Rates estimated per stratum / section / campaign.  ``sdc`` is the
+#: headline (Outcome.UNDETECTED); the others ride along for the report.
+RATE_OUTCOMES = {
+    "sdc_ratio": (Outcome.UNDETECTED,),
+    "failure_ratio": (Outcome.FAILURE,),
+    "detected_ratio": (Outcome.DETECTED, Outcome.DETECTED_MASKED),
+    "masked_ratio": (Outcome.MASKED,),
+}
+
+
+@dataclass(frozen=True, order=True)
+class StratumKey:
+    """Equivalence-class label for one group of fault specs."""
+
+    section: str
+    sensitivity: str
+    bit_band: str
+    thread_band: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "section": self.section, "sensitivity": self.sensitivity,
+            "bit_band": self.bit_band, "thread_band": self.thread_band,
+        }
+
+
+@dataclass
+class Stratum:
+    """One stratum: its population indices and allocated budget."""
+
+    key: StratumKey
+    #: Positions in the *population* spec list (ascending).
+    indices: List[int] = field(default_factory=list)
+    budget: int = 0
+
+    @property
+    def population(self) -> int:
+        return len(self.indices)
+
+
+@dataclass
+class CampaignPlan:
+    """A seeded stratified subsample of a spec population."""
+
+    strata: List[Stratum]
+    #: Sampled population indices, ascending — the campaign's spec
+    #: order is the population order restricted to this set, so trial
+    #: ``j`` of the result corresponds to ``selected[j]``.
+    selected: List[int]
+    population: int
+    budget: int
+    confidence: float
+    method: str
+    seed: int
+
+    @property
+    def trials_saved(self) -> int:
+        return self.population - len(self.selected)
+
+    def selected_specs(self, specs: Sequence[FaultSpec]) -> List[FaultSpec]:
+        return [specs[i] for i in self.selected]
+
+    def stratum_of(self) -> Dict[int, StratumKey]:
+        """Population index -> stratum key, for every stratified index."""
+        mapping: Dict[int, StratumKey] = {}
+        for stratum in self.strata:
+            for i in stratum.indices:
+                mapping[i] = stratum.key
+        return mapping
+
+    def meta(self) -> Dict[str, object]:
+        """JSON-friendly identity written into the journal ``meta.json``."""
+        return {
+            "method": self.method, "budget": self.budget,
+            "population": self.population, "selected": len(self.selected),
+            "strata": len(self.strata), "confidence": self.confidence,
+            "seed": self.seed,
+        }
+
+
+def bit_band(mask: int) -> str:
+    """Band of the highest flipped bit (``"low"``/``"mid"``/``"high"``)."""
+    top = max(mask.bit_length() - 1, 0)
+    for name, lo, hi in BIT_BANDS:
+        if lo <= top <= hi:
+            return name
+    return BIT_BANDS[-1][0]
+
+
+def stratify(
+    specs: Sequence[FaultSpec],
+    kernel=None,
+    thread_bands: int = THREAD_BANDS,
+    bit_bands: bool = True,
+) -> List[Stratum]:
+    """Partition a spec population into sorted, non-empty strata.
+
+    With a kernel, sites resolve to their dataflow section and
+    sensitivity class; without one (bare ``runner_factory`` campaigns)
+    every site lands in a single pseudo-section with unknown
+    sensitivity — the bit/thread axes still stratify.  ``thread_bands``
+    and ``bit_bands`` are the coarsening levers :func:`build_plan`
+    pulls when the full cross-product outnumbers the budget.
+    """
+    section_of: Dict[int, str] = {}
+    sensitivity_of: Dict[int, str] = {}
+    if kernel is not None:
+        from repro.kir.analysis.dataflow import collect_sites
+        from repro.kir.analysis.sections import site_section_map
+
+        section_of = site_section_map(kernel)
+        sensitivity_of = {
+            info.site: info.sensitivity_class for info in collect_sites(kernel)
+        }
+    max_thread = max((s.thread for s in specs), default=0)
+    strata: Dict[StratumKey, Stratum] = {}
+    for i, spec in enumerate(specs):
+        band = min(thread_bands - 1,
+                   (spec.thread * thread_bands) // (max_thread + 1))
+        key = StratumKey(
+            section=section_of.get(spec.site, "s?"),
+            sensitivity=sensitivity_of.get(spec.site, "unknown"),
+            bit_band=bit_band(spec.mask) if bit_bands else "all",
+            thread_band=int(band),
+        )
+        strata.setdefault(key, Stratum(key=key)).indices.append(i)
+    return [strata[key] for key in sorted(strata)]
+
+
+def _largest_remainder(weights: List[float], budget: int,
+                       caps: List[int]) -> List[int]:
+    """Apportion ``budget`` by weight, capped per cell, floor >= 1.
+
+    Standard largest-remainder apportionment with two fix-ups: no cell
+    exceeds its population cap, and (when the budget allows) every cell
+    gets at least one trial so no stratum is silently unmeasured.
+    """
+    total_w = sum(weights) or 1.0
+    quotas = [budget * w / total_w for w in weights]
+    alloc = [min(int(q), cap) for q, cap in zip(quotas, caps)]
+    # hand out the remainder by largest fractional part, ties by index
+    order = sorted(range(len(weights)),
+                   key=lambda i: (-(quotas[i] - int(quotas[i])), i))
+    leftover = budget - sum(alloc)
+    while leftover > 0:
+        progressed = False
+        for i in order:
+            if leftover <= 0:
+                break
+            if alloc[i] < caps[i]:
+                alloc[i] += 1
+                leftover -= 1
+                progressed = True
+        if not progressed:
+            break  # every cell is at its cap: budget >= population
+    # minimum-one floor, funded from the largest allocations
+    if budget >= len(weights):
+        donors = sorted(range(len(weights)), key=lambda i: -alloc[i])
+        for i in range(len(weights)):
+            if alloc[i] == 0 and caps[i] > 0:
+                for j in donors:
+                    if alloc[j] > 1:
+                        alloc[j] -= 1
+                        alloc[i] = 1
+                        break
+    return alloc
+
+
+def allocate_proportional(strata: List[Stratum], budget: int) -> None:
+    """Budget each stratum in proportion to its population (in place)."""
+    weights = [float(s.population) for s in strata]
+    caps = [s.population for s in strata]
+    for stratum, n in zip(strata, _largest_remainder(weights, budget, caps)):
+        stratum.budget = n
+
+
+def allocate_neyman(
+    strata: List[Stratum], budget: int,
+    pilot: Dict[StratumKey, Tuple[int, int]],
+) -> None:
+    """Neyman allocation: budget ∝ N_h · sd_h from pilot rates (in place).
+
+    ``pilot`` maps stratum keys to ``(trials, sdc_hits)`` observed in a
+    pilot run.  Rates are Laplace-smoothed — ``(k+1)/(n+2)`` — so a
+    pilot that saw zero SDCs in a stratum still leaves it a sliver of
+    variance instead of starving it entirely; unpiloted strata fall
+    back to the maximum-variance prior p=0.5.
+    """
+    weights = []
+    for stratum in strata:
+        n, k = pilot.get(stratum.key, (0, 0))
+        p = (k + 1) / (n + 2)
+        weights.append(stratum.population * math.sqrt(p * (1.0 - p)))
+    caps = [s.population for s in strata]
+    for stratum, n in zip(strata, _largest_remainder(weights, budget, caps)):
+        stratum.budget = n
+
+
+def build_plan(
+    specs: Sequence[FaultSpec],
+    budget: int,
+    *,
+    kernel=None,
+    method: str = "stratified",
+    confidence: float = 0.95,
+    seed: int = 0,
+    pilot: Optional[Dict[StratumKey, Tuple[int, int]]] = None,
+) -> CampaignPlan:
+    """Build a seeded stratified plan sampling ``budget`` of ``specs``.
+
+    Deterministic: the same ``(specs, budget, method, seed, pilot)``
+    always selects the same indices.  Sampling inside each stratum is
+    without replacement from one :class:`numpy.random.Generator`
+    consumed in sorted-stratum order.
+    """
+    if method not in PLAN_METHODS:
+        raise InjectionError(
+            f"unknown plan method {method!r}; expected one of {PLAN_METHODS}"
+        )
+    population = len(specs)
+    if budget <= 0:
+        raise InjectionError(f"plan budget must be positive, got {budget}")
+    budget = min(budget, population)
+    # Coarsen the stratum key until every stratum can hold at least one
+    # sampled trial: unmeasured strata would silently drop out of the
+    # extrapolation weights, biasing the estimate toward whatever the
+    # budget happened to cover.
+    strata = stratify(specs, kernel=kernel)
+    if len(strata) > budget:
+        strata = stratify(specs, kernel=kernel, thread_bands=1)
+    if len(strata) > budget:
+        strata = stratify(specs, kernel=kernel, thread_bands=1,
+                          bit_bands=False)
+    if method == "neyman" and pilot:
+        allocate_neyman(strata, budget, pilot)
+    else:
+        allocate_proportional(strata, budget)
+    rng = np.random.default_rng(seed)
+    selected: List[int] = []
+    for stratum in strata:
+        if stratum.budget >= stratum.population:
+            selected.extend(stratum.indices)
+        elif stratum.budget > 0:
+            picks = rng.choice(len(stratum.indices), size=stratum.budget,
+                               replace=False)
+            selected.extend(stratum.indices[int(i)] for i in sorted(picks))
+    return CampaignPlan(
+        strata=strata, selected=sorted(selected), population=population,
+        budget=budget, confidence=confidence, method=method, seed=seed,
+    )
+
+
+# -- interval arithmetic (no scipy in the container) -----------------------
+
+#: Acklam's rational approximation of the inverse normal CDF —
+#: |relative error| < 1.15e-9 over (0, 1), far below what a sampling
+#: CI needs, and it keeps scipy out of the dependency set.
+_ACKLAM_A = (-3.969683028665376e+01, 2.209460984245205e+02,
+             -2.759285104469687e+02, 1.383577518672690e+02,
+             -3.066479806614716e+01, 2.506628277459239e+00)
+_ACKLAM_B = (-5.447609879822406e+01, 1.615858368580409e+02,
+             -1.556989798598866e+02, 6.680131188771972e+01,
+             -1.328068155288572e+01)
+_ACKLAM_C = (-7.784894002430293e-03, -3.223964580411365e-01,
+             -2.400758277161838e+00, -2.549732539343734e+00,
+             4.374664141464968e+00, 2.938163982698783e+00)
+_ACKLAM_D = (7.784695709041462e-03, 3.224671290700398e-01,
+             2.445134137142996e+00, 3.754408661907416e+00)
+_ACKLAM_SPLIT = 0.02425
+
+
+def _inv_norm_cdf(p: float) -> float:
+    if not 0.0 < p < 1.0:
+        raise InjectionError(f"inverse normal CDF needs p in (0,1), got {p}")
+    a, b, c, d = _ACKLAM_A, _ACKLAM_B, _ACKLAM_C, _ACKLAM_D
+    if p < _ACKLAM_SPLIT:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p > 1.0 - _ACKLAM_SPLIT:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5]) * q / \
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+
+
+def z_score(confidence: float) -> float:
+    """Two-sided normal quantile for a given confidence level."""
+    if not 0.0 < confidence < 1.0:
+        raise InjectionError(
+            f"confidence must be in (0,1), got {confidence}"
+        )
+    return _inv_norm_cdf(0.5 + confidence / 2.0)
+
+
+def wilson_interval(k: int, n: int, confidence: float = 0.95) -> Tuple[float, float]:
+    """Wilson score interval for ``k`` successes in ``n`` Bernoulli trials.
+
+    Behaves sensibly at the boundaries (k=0, k=n) where the normal
+    interval collapses to a point — exactly the regime small strata
+    live in.  ``n == 0`` returns the vacuous ``(0, 1)``.
+    """
+    if n <= 0:
+        return 0.0, 1.0
+    z = z_score(confidence)
+    p = k / n
+    denom = 1.0 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    half = z * math.sqrt(p * (1.0 - p) / n + z * z / (4 * n * n)) / denom
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+def compose_rates(parts: Sequence[Tuple[int, float]]) -> float:
+    """FastFlip composition: population-weighted mean of per-part rates.
+
+    ``parts`` is ``(population, rate)`` per section.  Because every
+    injection lands in exactly one section, a whole-program outcome
+    rate is *exactly* the population-weighted mean of the per-section
+    rates — no independence assumption needed — which is what makes
+    per-section rates reusable across edits that leave a section's
+    dependency closure untouched.
+    """
+    total = sum(n for n, _rate in parts)
+    if total == 0:
+        return 0.0
+    return sum(n * rate for n, rate in parts) / total
+
+
+def _rate_tallies(outcome_values: Sequence[str]) -> Tuple[int, Dict[str, int]]:
+    """(modelled trials, hits per rate) excluding operational records."""
+    killed = Outcome.WORKER_KILLED.value
+    modelled = [o for o in outcome_values if o != killed]
+    hits = {
+        name: sum(1 for o in modelled
+                  if any(o == member.value for member in members))
+        for name, members in RATE_OUTCOMES.items()
+    }
+    return len(modelled), hits
+
+
+def estimate_plan(plan: CampaignPlan, trials) -> Dict[str, object]:
+    """Population-extrapolated estimates for one planned campaign.
+
+    ``trials`` is the result's trial list, ordered like
+    ``plan.selected``.  Quarantined placeholders (``WORKER_KILLED``)
+    are excluded from every rate denominator: they are operational
+    evidence, not fault-model outcomes.
+
+    Returns the JSON payload attached to ``CampaignResult.summary()``
+    under ``"plan"``: plan identity, per-stratum estimates (Wilson
+    CIs), per-section composition, and overall stratified estimates
+    with finite-population-corrected normal CIs.
+    """
+    if len(trials) != len(plan.selected):
+        raise InjectionError(
+            f"plan expected {len(plan.selected)} trials, result has "
+            f"{len(trials)}"
+        )
+    confidence = plan.confidence
+    outcome_by_index = {
+        pop_index: trial.outcome.value
+        for pop_index, trial in zip(plan.selected, trials)
+    }
+
+    strata_out: List[Dict[str, object]] = []
+    per_rate_parts: Dict[str, List[Tuple[int, int, int]]] = {
+        name: [] for name in RATE_OUTCOMES
+    }  # rate -> [(N_h, n_h, k_h)]
+    section_parts: Dict[str, Dict[str, List[Tuple[int, int, int]]]] = {}
+    for stratum in plan.strata:
+        sampled = [outcome_by_index[i] for i in stratum.indices
+                   if i in outcome_by_index]
+        n, hits = _rate_tallies(sampled)
+        entry: Dict[str, object] = {
+            **stratum.key.as_dict(),
+            "population": stratum.population,
+            "sampled": n,
+        }
+        for name in RATE_OUTCOMES:
+            k = hits[name]
+            entry[name] = (k / n) if n else None
+            per_rate_parts[name].append((stratum.population, n, k))
+            section_parts.setdefault(stratum.key.section, {}) \
+                .setdefault(name, []).append((stratum.population, n, k))
+        lo, hi = wilson_interval(hits["sdc_ratio"], n, confidence)
+        entry["sdc_ci"] = [lo, hi]
+        strata_out.append(entry)
+
+    def _stratified(parts: List[Tuple[int, int, int]]) -> Dict[str, object]:
+        """Weighted estimate + fpc normal CI over covered strata.
+
+        The point estimate uses the raw per-stratum rates; the
+        *variance* term uses Laplace-smoothed rates ``(k+1)/(n+2)`` —
+        a small stratum that happened to observe 0/n or n/n has an
+        estimated variance of exactly zero, and summing those would
+        report a zero-width interval from a handful of trials.  The
+        smoothing keeps each sampled stratum's uncertainty honest
+        without moving the estimate itself.
+        """
+        covered = [(N, n, k) for N, n, k in parts if n > 0]
+        total = sum(N for N, _n, _k in covered)
+        if total == 0:
+            return {"value": 0.0, "ci": [0.0, 1.0], "covered_population": 0}
+        value = sum(N * (k / n) for N, n, k in covered) / total
+        var = 0.0
+        for N, n, k in covered:
+            p_var = (k + 1.0) / (n + 2.0)
+            w = N / total
+            fpc = (N - n) / (N - 1) if N > 1 else 0.0
+            var += w * w * fpc * p_var * (1.0 - p_var) / n
+        half = z_score(confidence) * math.sqrt(max(var, 0.0))
+        return {
+            "value": value,
+            "ci": [max(0.0, value - half), min(1.0, value + half)],
+            "covered_population": total,
+        }
+
+    estimates = {name: _stratified(parts)
+                 for name, parts in per_rate_parts.items()}
+    estimates["coverage"] = {
+        "value": 1.0 - estimates["sdc_ratio"]["value"],
+        "ci": [1.0 - estimates["sdc_ratio"]["ci"][1],
+               1.0 - estimates["sdc_ratio"]["ci"][0]],
+        "covered_population": estimates["sdc_ratio"]["covered_population"],
+    }
+
+    sections_out: Dict[str, Dict[str, object]] = {}
+    composed_parts: List[Tuple[int, float]] = []
+    for section in sorted(section_parts):
+        rates = {name: _stratified(parts)
+                 for name, parts in section_parts[section].items()}
+        population = sum(N for N, _n, _k in section_parts[section]["sdc_ratio"])
+        sampled = sum(n for _N, n, _k in section_parts[section]["sdc_ratio"])
+        sections_out[section] = {
+            "population": population, "sampled": sampled, **{
+                name: rates[name]["value"] for name in RATE_OUTCOMES
+            },
+            "sdc_ci": rates["sdc_ratio"]["ci"],
+        }
+        composed_parts.append((population, rates["sdc_ratio"]["value"]))
+
+    return {
+        **plan.meta(),
+        "trials_saved": plan.trials_saved,
+        "estimates": estimates,
+        # sanity identity: composing per-section rates reproduces the
+        # overall stratified estimate (same weights, same samples)
+        "composed_sdc_ratio": compose_rates(composed_parts),
+        "strata_estimates": strata_out,
+        "sections": sections_out,
+    }
+
+
+def pilot_tallies(
+    plan: CampaignPlan, trials
+) -> Dict[StratumKey, Tuple[int, int]]:
+    """Per-stratum ``(trials, sdc_hits)`` from a pilot campaign's result.
+
+    Feeds :func:`allocate_neyman` for the main plan.
+    """
+    outcome_by_index = {
+        pop_index: trial.outcome.value
+        for pop_index, trial in zip(plan.selected, trials)
+    }
+    tallies: Dict[StratumKey, Tuple[int, int]] = {}
+    for stratum in plan.strata:
+        sampled = [outcome_by_index[i] for i in stratum.indices
+                   if i in outcome_by_index]
+        n, hits = _rate_tallies(sampled)
+        tallies[stratum.key] = (n, hits["sdc_ratio"])
+    return tallies
+
+
+def bootstrap_interval(
+    plan: CampaignPlan, trials, rate: str = "sdc_ratio",
+    n_boot: int = 200, seed: int = 0,
+) -> Tuple[float, float]:
+    """Stratified-bootstrap CI for one rate (resampling within strata).
+
+    A cross-check on the normal interval for small or lopsided strata;
+    not on the hot path (the report and summary use the closed-form
+    CIs), but exported for the estimator-correctness tests.
+    """
+    if rate not in RATE_OUTCOMES:
+        raise InjectionError(f"unknown rate {rate!r}")
+    members = {m.value for m in RATE_OUTCOMES[rate]}
+    killed = Outcome.WORKER_KILLED.value
+    outcome_by_index = {
+        pop_index: trial.outcome.value
+        for pop_index, trial in zip(plan.selected, trials)
+    }
+    cells = []  # (N_h, hit-indicator array) per covered stratum
+    for stratum in plan.strata:
+        sampled = [outcome_by_index[i] for i in stratum.indices
+                   if i in outcome_by_index]
+        flags = np.array([o in members for o in sampled if o != killed],
+                         dtype=float)
+        if flags.size:
+            cells.append((stratum.population, flags))
+    if not cells:
+        return 0.0, 1.0
+    total = sum(N for N, _f in cells)
+    rng = np.random.default_rng(seed)
+    stats = np.empty(n_boot)
+    for b in range(n_boot):
+        acc = 0.0
+        for N, flags in cells:
+            resample = rng.integers(0, flags.size, size=flags.size)
+            acc += N * float(flags[resample].mean())
+        stats[b] = acc / total
+    alpha = 1.0 - plan.confidence
+    lo, hi = np.quantile(stats, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return float(lo), float(hi)

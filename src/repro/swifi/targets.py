@@ -42,7 +42,25 @@ def select_targets(
     rng: np.random.Generator,
     classes: Optional[Sequence[str]] = None,
 ) -> List[SiteInfo]:
-    """Sample up to ``max_targets`` sites without replacement."""
+    """Sample up to ``max_targets`` sites without replacement.
+
+    **Ordering contract**: the returned sites are always in ascending
+    *site-id* order, not draw order — the sampled indices are re-sorted
+    before lookup.  One call is one sample: the same ``(kernel,
+    max_targets, classes)`` with an identically-seeded generator always
+    returns the same sites.  What the sort deliberately gives up is
+    draw-order semantics *across* calls: two successive calls on the
+    same generator are **not** "the first batch then the next disjoint
+    batch" of one longer draw — each call samples independently from
+    the full population (minus nothing), so overlap between the two
+    returns is expected.  Callers wanting disjoint batches must sample
+    once with the combined budget and split the result themselves.
+
+    ``classes`` filters the population *before* sampling, so the same
+    seed with different ``classes`` draws from different index spaces
+    and the picks are unrelated — only identical ``classes`` values
+    reproduce each other.
+    """
     if max_targets <= 0:
         raise InjectionError(f"max_targets must be positive, got {max_targets}")
     sites = enumerate_targets(kernel, classes)

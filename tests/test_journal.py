@@ -334,3 +334,205 @@ class TestResumeParity:
             records = [json.loads(line) for line in fh]
         # the resumed run appended exactly the missing records
         assert sorted(r["i"] for r in records) == list(range(len(specs)))
+
+
+# -- section tags and incremental adoption --------------------------------
+
+
+TWO_CHAIN_SRC = """
+kernel two(float* a, float* b, float* oa, float* ob) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    float x = a[tid] * 2.0;
+    oa[tid] = x;
+    __syncthreads();
+    int ujd = blockIdx.x * blockDim.x + threadIdx.x;
+    float y = b[ujd] + 1.0;
+    ob[ujd] = y;
+}
+"""
+
+_TC_N = 4
+
+
+class TwoChainWorkload(TinyWorkload.__bases__[0]):
+    """Two dataflow-independent chains (a->oa, b->ob) behind a barrier."""
+
+    name = "TWOCHAIN"
+    source = TWO_CHAIN_SRC
+    offset = 1.0
+
+    def generate_input(self, seed: int = 0):
+        import numpy as np
+
+        from repro.kir.types import DType
+        from repro.workloads.base import BufferSpec, WorkloadInput
+
+        rng = np.random.default_rng(seed + 7)
+        a = rng.uniform(0.5, 2.0, _TC_N).astype(np.float32)
+        b = rng.uniform(0.5, 2.0, _TC_N).astype(np.float32)
+        return WorkloadInput(
+            buffers=[
+                BufferSpec("a", DType.FLOAT32, _TC_N, a),
+                BufferSpec("b", DType.FLOAT32, _TC_N, b),
+                BufferSpec("oa", DType.FLOAT32, _TC_N,
+                           np.zeros(_TC_N, dtype=np.float32)),
+                BufferSpec("ob", DType.FLOAT32, _TC_N,
+                           np.zeros(_TC_N, dtype=np.float32)),
+            ],
+            scalars={},
+            buffer_params={"a": "a", "b": "b", "oa": "oa", "ob": "ob"},
+            outputs=["oa", "ob"],
+            grid=(1, 1),
+            block=(_TC_N, 1),
+            meta={"a": a, "b": b},
+        )
+
+    def golden(self, inp):
+        import numpy as np
+
+        a = inp.meta["a"].astype(np.float64)
+        b = inp.meta["b"].astype(np.float64)
+        oa = (a.astype(np.float32) * np.float32(2.0)).astype(np.float64)
+        ob = (b.astype(np.float32) + np.float32(self.offset)) \
+            .astype(np.float64)
+        return np.concatenate([oa, ob])
+
+
+class TwoChainEdited(TwoChainWorkload):
+    """Chain 2's constant changed; chain 1 is byte-identical."""
+
+    source = TWO_CHAIN_SRC.replace("+ 1.0", "+ 2.0")
+    offset = 2.0
+
+
+def _two_chain_specs(wl):
+    from repro.swifi import build_fault_specs, enumerate_targets
+
+    return build_fault_specs(
+        enumerate_targets(wl.kernel), n_threads=_TC_N,
+        masks_per_site=2, bit_counts=(1, 2), seed=5,
+    )
+
+
+def _counting_program(wl, executed):
+    """A program whose full-path trial runner logs each executed site."""
+    prog = HauberkProgram(wl)
+    orig = prog.trial_runner
+
+    def counting_trial_runner(mode, seed):
+        base = orig(mode, seed)
+
+        def runner(spec):
+            executed.append(spec.site)
+            return base(spec)
+
+        return runner
+
+    prog.trial_runner = counting_trial_runner
+    return prog
+
+
+class TestSectionAdoption:
+    def test_records_carry_section_tags(self, tmp_path):
+        wl, specs = _tiny_specs(masks_per_site=1)
+        root = str(tmp_path / "runs")
+        run_campaign(HauberkProgram(wl), specs, mode="fi",
+                     options=CampaignOptions(workers=1, run_dir=root))
+        with open(_journal_path(root), encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh]
+        assert all(r.get("sec", "").startswith("s") for r in records)
+        meta_path = os.path.join(os.path.dirname(_journal_path(root)),
+                                 "meta.json")
+        meta = json.loads(open(meta_path, encoding="utf-8").read())
+        assert meta["sections"]  # per-section fingerprints recorded
+
+    def test_incremental_adoption_after_edit(self, tmp_path):
+        from repro.kir.analysis import (
+            affected_sections,
+            kernel_sections,
+            site_section_map,
+        )
+
+        wl1 = TwoChainWorkload()
+        specs = _two_chain_specs(wl1)
+        root = str(tmp_path / "runs")
+        opts = CampaignOptions(workers=1, differential=False)
+        run_campaign(HauberkProgram(wl1), specs, mode="fi",
+                     options=opts.evolve(run_dir=root))
+
+        wl2 = TwoChainEdited()
+        assert [s.site for s in _two_chain_specs(wl2)] == \
+            [s.site for s in specs]  # same shape, same spec stream
+        baseline = run_campaign(HauberkProgram(TwoChainEdited()), specs,
+                                mode="fi", options=opts)
+
+        executed = []
+        resumed = run_campaign(
+            _counting_program(wl2, executed), specs, mode="fi",
+            options=opts.evolve(resume=root),
+        )
+        _assert_identical(resumed, baseline)
+
+        # only the edited chain's closure re-executes: the params
+        # section (ancestor) and chain 2; chain 1 records are adopted
+        sections = kernel_sections(wl2.kernel)
+        sec_of = site_section_map(wl2.kernel, sections)
+        stale = affected_sections(sections, {"s2"})
+        assert stale == {"s0", "s2"}
+        expected = sorted(s.site for s in specs if sec_of[s.site] in stale)
+        assert sorted(executed) == expected
+        assert len(executed) < len(specs)
+
+    def test_dependent_edit_refuses_adoption(self, tmp_path):
+        class TinyEdited(TinyWorkload):
+            source = TinyWorkload.source.replace("v * v", "v * v * v")
+
+        wl, specs = _tiny_specs(masks_per_site=1)
+        root = str(tmp_path / "runs")
+        opts = CampaignOptions(workers=1, differential=False)
+        run_campaign(HauberkProgram(wl), specs, mode="fi",
+                     options=opts.evolve(run_dir=root))
+
+        # the edited loop feeds the whole kernel: every section is in
+        # the closure, so nothing is safe to adopt
+        executed = []
+        run_campaign(_counting_program(TinyEdited(), executed), specs,
+                     mode="fi", options=opts.evolve(resume=root))
+        assert len(executed) == len(specs)
+
+    def test_resumed_journal_is_self_contained(self, tmp_path):
+        """Adopted records live in the new journal: a second resume of
+        the edited campaign replays everything without the donor."""
+        import shutil
+
+        wl1 = TwoChainWorkload()
+        specs = _two_chain_specs(wl1)
+        root = str(tmp_path / "runs")
+        opts = CampaignOptions(workers=1, differential=False)
+        run_campaign(HauberkProgram(wl1), specs, mode="fi",
+                     options=opts.evolve(run_dir=root))
+        first = run_campaign(HauberkProgram(TwoChainEdited()), specs,
+                             mode="fi", options=opts.evolve(resume=root))
+        # remove the donor directory; only the edited campaign remains
+        fp_dirs = sorted(os.listdir(root))
+        assert len(fp_dirs) == 2
+        from repro.swifi import campaign_fingerprint
+
+        fp2, _ = campaign_fingerprint(
+            HauberkProgram(TwoChainEdited()), specs, "fi", 0
+        )
+        donor = [d for d in fp_dirs if not fp2.startswith(d)]
+        assert len(donor) == 1
+        shutil.rmtree(os.path.join(root, donor[0]))
+
+        def exploding_factory():
+            def runner(spec):
+                raise AssertionError("resume should not execute trials")
+
+            return runner
+
+        prog = HauberkProgram(TwoChainEdited())
+        prog.trial_runner = lambda mode, seed: exploding_factory()
+        again = run_campaign(prog, specs, mode="fi",
+                             options=opts.evolve(resume=root))
+        _assert_identical(again, first)

@@ -1,0 +1,331 @@
+"""Campaign-planner tests: stratification, allocation, and estimators.
+
+The estimator-correctness contract (:mod:`repro.swifi.planner`): a
+stratified plan at full budget reproduces the exhaustive rates exactly;
+estimates converge toward ground truth as the budget grows; and the
+normal confidence intervals attain roughly nominal coverage over many
+seeded plans against a fixed ground-truth outcome table (no campaign
+re-execution — outcomes are deterministic per spec, so the exhaustive
+table doubles as an oracle for any subsample).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.program import HauberkProgram
+from repro.errors import InjectionError
+from repro.swifi import (
+    Outcome,
+    build_fault_specs,
+    build_plan,
+    compose_rates,
+    run_campaign,
+    select_targets,
+    wilson_interval,
+)
+from repro.swifi.planner import (
+    Stratum,
+    StratumKey,
+    _largest_remainder,
+    allocate_neyman,
+    bit_band,
+    bootstrap_interval,
+    estimate_plan,
+    pilot_tallies,
+    stratify,
+    z_score,
+)
+from repro.workloads import get_workload
+
+
+def _specs_for(name: str, max_sites: int = 10, masks: int = 2, seed: int = 3):
+    import numpy as np
+
+    wl = get_workload(name)
+    inp = wl.generate_input(0)
+    sites = select_targets(
+        wl.kernel, max_sites, np.random.default_rng(seed)
+    )
+    return wl, build_fault_specs(
+        sites, n_threads=inp.n_threads, masks_per_site=masks,
+        bit_counts=(1, 2), seed=seed,
+    )
+
+
+def _exhaustive(name: str, **kwargs):
+    wl, specs = _specs_for(name, **kwargs)
+    result = run_campaign(HauberkProgram(wl), specs, mode="fift")
+    return wl, specs, result
+
+
+def _mock_trials(plan, outcomes):
+    """Trial stand-ins from a ground-truth outcome table."""
+    return [SimpleNamespace(outcome=outcomes[i]) for i in plan.selected]
+
+
+# -- pure arithmetic ------------------------------------------------------
+
+
+class TestArithmetic:
+    def test_bit_band_boundaries(self):
+        assert bit_band(1) == "low"
+        assert bit_band(1 << 15) == "low"
+        assert bit_band(1 << 16) == "mid"
+        assert bit_band(1 << 25) == "mid"
+        assert bit_band(1 << 26) == "high"
+        assert bit_band((1 << 31) | 1) == "high"
+
+    def test_z_score_known_values(self):
+        assert z_score(0.95) == pytest.approx(1.959964, abs=1e-5)
+        assert z_score(0.99) == pytest.approx(2.575829, abs=1e-5)
+        with pytest.raises(InjectionError):
+            z_score(1.0)
+
+    def test_wilson_contains_point_estimate(self):
+        for k, n in [(0, 10), (3, 10), (10, 10), (1, 1)]:
+            lo, hi = wilson_interval(k, n)
+            assert 0.0 <= lo <= k / n <= hi <= 1.0
+            assert hi - lo > 0.0  # never a point interval
+
+    def test_wilson_vacuous_on_empty(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_wilson_narrows_with_n(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert hi2 - lo2 < hi1 - lo1
+
+    def test_compose_rates_weighted_mean(self):
+        assert compose_rates([(10, 0.1), (30, 0.5)]) == \
+            pytest.approx((10 * 0.1 + 30 * 0.5) / 40)
+        assert compose_rates([]) == 0.0
+
+    def test_largest_remainder_properties(self):
+        weights = [5.0, 3.0, 1.0, 1.0]
+        caps = [5, 3, 1, 1]
+        alloc = _largest_remainder(weights, 6, caps)
+        assert sum(alloc) == 6
+        assert all(a <= c for a, c in zip(alloc, caps))
+        assert all(a >= 1 for a in alloc)  # min-1 floor funded
+
+    def test_largest_remainder_caps_bind(self):
+        # budget exceeds population: every cell saturates at its cap
+        assert _largest_remainder([1.0, 1.0], 10, [3, 2]) == [3, 2]
+
+
+# -- stratification and plans ---------------------------------------------
+
+
+class TestStratify:
+    def test_partition_is_exact(self):
+        wl, specs = _specs_for("CP")
+        strata = stratify(specs, kernel=wl.kernel)
+        seen = sorted(i for s in strata for i in s.indices)
+        assert seen == list(range(len(specs)))
+        assert [s.key for s in strata] == sorted(s.key for s in strata)
+
+    def test_kernel_less_pseudo_section(self):
+        _wl, specs = _specs_for("CP")
+        strata = stratify(specs)
+        assert {s.key.section for s in strata} == {"s?"}
+        assert {s.key.sensitivity for s in strata} == {"unknown"}
+
+    def test_coarsening_levers(self):
+        wl, specs = _specs_for("CP")
+        full = stratify(specs, kernel=wl.kernel)
+        flat = stratify(specs, kernel=wl.kernel, thread_bands=1,
+                        bit_bands=False)
+        assert len(flat) <= len(full)
+        assert {s.key.bit_band for s in flat} == {"all"}
+
+
+class TestBuildPlan:
+    def test_deterministic(self):
+        wl, specs = _specs_for("CP")
+        a = build_plan(specs, 12, kernel=wl.kernel, seed=7)
+        b = build_plan(specs, 12, kernel=wl.kernel, seed=7)
+        assert a.selected == b.selected
+        c = build_plan(specs, 12, kernel=wl.kernel, seed=8)
+        assert c.selected != a.selected
+
+    def test_selected_sorted_unique_within_budget(self):
+        wl, specs = _specs_for("CP")
+        plan = build_plan(specs, 15, kernel=wl.kernel)
+        assert plan.selected == sorted(set(plan.selected))
+        assert len(plan.selected) <= 15
+        assert plan.trials_saved == len(specs) - len(plan.selected)
+
+    def test_budget_clamped_to_population(self):
+        wl, specs = _specs_for("CP")
+        plan = build_plan(specs, 10 ** 6, kernel=wl.kernel)
+        assert plan.selected == list(range(len(specs)))
+        assert plan.trials_saved == 0
+
+    def test_coarsens_until_strata_fit_budget(self):
+        wl, specs = _specs_for("CP")
+        full = len(stratify(specs, kernel=wl.kernel))
+        plan = build_plan(specs, 4, kernel=wl.kernel)
+        # bit/thread axes collapse entirely; the section/sensitivity
+        # axes are the floor (they carry the composition weights)
+        assert len(plan.strata) < full
+        assert {s.key.bit_band for s in plan.strata} == {"all"}
+        assert {s.key.thread_band for s in plan.strata} == {0}
+
+    def test_invalid_inputs_raise(self):
+        wl, specs = _specs_for("CP")
+        with pytest.raises(InjectionError):
+            build_plan(specs, 0, kernel=wl.kernel)
+        with pytest.raises(InjectionError):
+            build_plan(specs, 5, kernel=wl.kernel, method="quota")
+
+    def test_neyman_shifts_budget_toward_variance(self):
+        keys = [
+            StratumKey("s1", "fp", "low", 0),
+            StratumKey("s1", "fp", "high", 0),
+        ]
+        strata = [
+            Stratum(key=keys[0], indices=list(range(50))),
+            Stratum(key=keys[1], indices=list(range(50, 100))),
+        ]
+        # pilot: stratum 0 near-deterministic, stratum 1 maximal variance
+        allocate_neyman(strata, 20, {keys[0]: (10, 0), keys[1]: (10, 5)})
+        assert strata[1].budget > strata[0].budget
+        assert sum(s.budget for s in strata) == 20
+
+
+# -- estimator correctness -------------------------------------------------
+
+
+class TestEstimators:
+    @pytest.mark.parametrize("workload", ["CP", "PNS"])
+    def test_full_budget_reproduces_exhaustive(self, workload):
+        wl, specs, result = _exhaustive(workload, max_sites=6, masks=2)
+        truth = result.summary()
+        plan = build_plan(specs, len(specs), kernel=wl.kernel)
+        est = estimate_plan(plan, result.trials)
+        assert est["trials_saved"] == 0
+        assert est["estimates"]["sdc_ratio"]["value"] == \
+            pytest.approx(truth["sdc_ratio"])
+        assert est["composed_sdc_ratio"] == pytest.approx(truth["sdc_ratio"])
+        assert est["estimates"]["coverage"]["value"] == \
+            pytest.approx(1.0 - truth["sdc_ratio"])
+
+    def test_estimates_converge_with_budget(self):
+        wl, specs, result = _exhaustive("CP", max_sites=8, masks=2)
+        truth = result.summary()["sdc_ratio"]
+        outcomes = [t.outcome for t in result.trials]
+        errors = []
+        for budget in (len(specs) // 4, len(specs) // 2, len(specs)):
+            errs = []
+            for seed in range(8):
+                plan = build_plan(specs, budget, kernel=wl.kernel, seed=seed)
+                est = estimate_plan(plan, _mock_trials(plan, outcomes))
+                errs.append(abs(est["estimates"]["sdc_ratio"]["value"] - truth))
+            errors.append(sum(errs) / len(errs))
+        assert errors[-1] == pytest.approx(0.0, abs=1e-12)
+        assert errors[-1] <= errors[0]
+
+    @pytest.mark.parametrize("workload", ["CP", "PNS"])
+    def test_ci_nominal_coverage(self, workload):
+        wl, specs, result = _exhaustive(workload, max_sites=8, masks=2)
+        truth = result.summary()["sdc_ratio"]
+        outcomes = [t.outcome for t in result.trials]
+        budget = max(1, len(specs) // 4)
+        hits = 0
+        n_plans = 120
+        for seed in range(n_plans):
+            plan = build_plan(specs, budget, kernel=wl.kernel, seed=seed)
+            est = estimate_plan(plan, _mock_trials(plan, outcomes))
+            lo, hi = est["estimates"]["sdc_ratio"]["ci"]
+            hits += lo - 1e-12 <= truth <= hi + 1e-12
+        # nominal 95%; the Laplace-smoothed variance is conservative,
+        # so demand at least ~85% over 120 seeded plans
+        assert hits / n_plans >= 0.85
+
+    def test_worker_killed_excluded_from_rates(self):
+        wl, specs = _specs_for("CP", max_sites=4, masks=1)
+        plan = build_plan(specs, len(specs), kernel=wl.kernel)
+        outcomes = [Outcome.UNDETECTED] * len(specs)
+        outcomes[plan.selected[0]] = Outcome.WORKER_KILLED
+        est = estimate_plan(plan, _mock_trials(plan, outcomes))
+        # every modelled trial is an SDC; the operational record does
+        # not dilute the rate
+        assert est["estimates"]["sdc_ratio"]["value"] == pytest.approx(1.0)
+
+    def test_trial_count_mismatch_raises(self):
+        wl, specs = _specs_for("CP", max_sites=4, masks=1)
+        plan = build_plan(specs, 5, kernel=wl.kernel)
+        with pytest.raises(InjectionError):
+            estimate_plan(plan, [])
+
+    def test_composition_identity(self):
+        wl, specs, result = _exhaustive("CP", max_sites=8, masks=2)
+        plan = build_plan(specs, len(specs) // 2, kernel=wl.kernel, seed=2)
+        est = estimate_plan(plan, _mock_trials(
+            plan, [t.outcome for t in result.trials]
+        ))
+        # per-section composition reuses the stratified weights, so it
+        # must reproduce the overall estimate exactly
+        assert est["composed_sdc_ratio"] == \
+            pytest.approx(est["estimates"]["sdc_ratio"]["value"])
+
+    def test_bootstrap_brackets_point_estimate(self):
+        wl, specs, result = _exhaustive("CP", max_sites=6, masks=2)
+        plan = build_plan(specs, len(specs) // 2, kernel=wl.kernel, seed=4)
+        trials = _mock_trials(plan, [t.outcome for t in result.trials])
+        est = estimate_plan(plan, trials)
+        lo, hi = bootstrap_interval(plan, trials, seed=11)
+        assert 0.0 <= lo <= hi <= 1.0
+        value = est["estimates"]["sdc_ratio"]["value"]
+        assert lo - 0.25 <= value <= hi + 0.25
+
+    def test_pilot_tallies_shape(self):
+        wl, specs, result = _exhaustive("CP", max_sites=6, masks=2)
+        plan = build_plan(specs, len(specs) // 2, kernel=wl.kernel)
+        tallies = pilot_tallies(
+            plan, _mock_trials(plan, [t.outcome for t in result.trials])
+        )
+        assert set(tallies) == {s.key for s in plan.strata}
+        assert sum(n for n, _k in tallies.values()) == len(plan.selected)
+
+
+# -- end-to-end through run_campaign --------------------------------------
+
+
+class TestPlannedCampaign:
+    def test_budgeted_run_attaches_plan(self):
+        from repro.swifi import CampaignOptions
+
+        wl, specs = _specs_for("CP", max_sites=6, masks=2)
+        options = CampaignOptions(budget=max(4, len(specs) // 5))
+        result = run_campaign(HauberkProgram(wl), specs, mode="fift",
+                              options=options)
+        assert len(result.trials) <= options.budget
+        summary = result.summary()
+        assert summary["plan"]["population"] == len(specs)
+        assert summary["plan"]["trials_saved"] == \
+            len(specs) - len(result.trials)
+        lo, hi = summary["plan"]["estimates"]["sdc_ratio"]["ci"]
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_budgeted_run_deterministic(self):
+        from repro.swifi import CampaignOptions
+
+        wl, specs = _specs_for("PNS", max_sites=5, masks=2)
+        options = CampaignOptions(budget=8)
+        a = run_campaign(HauberkProgram(wl), specs, "fift", options)
+        b = run_campaign(HauberkProgram(get_workload("PNS")), specs, "fift",
+                         options)
+        assert a.summary() == b.summary()
+
+    def test_neyman_runs_pilot_then_allocates(self):
+        from repro.swifi import CampaignOptions
+
+        wl, specs = _specs_for("CP", max_sites=6, masks=2)
+        options = CampaignOptions(budget=10, plan="neyman")
+        result = run_campaign(HauberkProgram(wl), specs, "fift", options)
+        assert result.summary()["plan"]["method"] == "neyman"
+        assert len(result.trials) <= 10

@@ -275,3 +275,120 @@ class TestTracing:
         dense = ValueTraceLibrary(kernel2, sample_every=1)
         runtime2.launch(instrument_for_fi(kernel2), 1, 4, args2, lib=dense)
         assert set(by_name["v"]) <= set(dense.by_name()["v"])
+
+
+class TestResultViews:
+    """Quarantine-aware result views and operational-rate semantics."""
+
+    @staticmethod
+    def _result_with_quarantine():
+        from repro.swifi.campaign import (
+            CampaignResult,
+            QuarantineReport,
+            TrialResult,
+        )
+
+        result = CampaignResult()
+        ok_obs = TrialObservation(
+            failure=False, detected=False, output_ok=False, activated=True
+        )
+        result.add(TrialResult(
+            spec=FaultSpec(site=0, mask=0b1), outcome=Outcome.UNDETECTED,
+            observation=ok_obs,
+        ))
+        result.add(TrialResult(
+            spec=FaultSpec(site=1, mask=0b11), outcome=Outcome.MASKED,
+            observation=TrialObservation(
+                failure=False, detected=False, output_ok=True,
+                activated=False,
+            ),
+        ))
+        dead_spec = FaultSpec(site=2, mask=0b1)
+        result.add(TrialResult(
+            spec=dead_spec, outcome=Outcome.WORKER_KILLED,
+            observation=TrialObservation(
+                failure=True, detected=False, output_ok=False,
+                activated=False, note="worker process killed",
+            ),
+        ))
+        result.quarantined.append(QuarantineReport(
+            spec=dead_spec, index=2, deaths=3, rounds=2, note="sigkill"
+        ))
+        return result
+
+    def test_filter_carries_quarantine_reports(self):
+        """Regression: filtered views used to drop quarantine evidence."""
+        result = self._result_with_quarantine()
+        view = result.filter(lambda t: t.spec.site >= 1)
+        assert len(view.trials) == 2
+        assert [r.spec.site for r in view.quarantined] == [2]
+        assert view.summary()["quarantined"] == 1
+        # a view excluding the dead spec carries no report
+        assert result.filter(lambda t: t.spec.site == 0).quarantined == []
+
+    def test_by_bits_carries_quarantine_reports(self):
+        result = self._result_with_quarantine()
+        single_bit = result.by_bits(1)
+        assert [r.deaths for r in single_bit.quarantined] == [3]
+        assert result.by_bits(2).quarantined == []
+
+    def test_activation_ratio_excludes_worker_killed(self):
+        """Regression: quarantined placeholders diluted the ratio.
+
+        A quarantined spec never executed, so it can say nothing about
+        whether the fault would have activated; only the two executed
+        trials (one activated) count.
+        """
+        result = self._result_with_quarantine()
+        assert result.activation_ratio == pytest.approx(0.5)
+
+    def test_activation_ratio_all_quarantined_is_zero(self):
+        from repro.swifi.campaign import CampaignResult, TrialResult
+
+        result = CampaignResult()
+        result.add(TrialResult(
+            spec=FaultSpec(site=0, mask=1), outcome=Outcome.WORKER_KILLED,
+            observation=TrialObservation(
+                failure=True, detected=False, output_ok=False,
+                activated=False,
+            ),
+        ))
+        assert result.activation_ratio == 0.0
+
+
+class TestSelectTargetsContract:
+    """The documented ordering/determinism contract of select_targets."""
+
+    def test_seeded_draws_are_reproducible(self):
+        kernel = parse_kernel(SRC)
+        a = select_targets(kernel, 3, np.random.default_rng(9))
+        b = select_targets(kernel, 3, np.random.default_rng(9))
+        assert [s.site for s in a] == [s.site for s in b]
+
+    def test_returns_ascending_site_order_not_draw_order(self):
+        kernel = parse_kernel(SRC)
+        for seed in range(5):
+            sites = select_targets(kernel, 4, np.random.default_rng(seed))
+            ids = [s.site for s in sites]
+            assert ids == sorted(ids)
+
+    def test_classes_filter_changes_population_not_just_output(self):
+        """classes= filters *before* sampling: same seed, different picks.
+
+        Reproducing a selection therefore needs the identical classes
+        argument, not just the identical seed — the documented caveat.
+        """
+        kernel = parse_kernel(SRC)
+        fp_only = select_targets(kernel, 3, np.random.default_rng(2),
+                                 classes=["fp"])
+        assert {s.sensitivity_class for s in fp_only} == {"fp"}
+        unfiltered = select_targets(kernel, 3, np.random.default_rng(2))
+        assert [s.site for s in fp_only] != [s.site for s in unfiltered]
+
+    def test_successive_draws_not_disjoint_batches(self):
+        """One rng, two calls: the second is a fresh sample, not 'next 3'."""
+        kernel = parse_kernel(SRC)
+        rng = np.random.default_rng(0)
+        first = {s.site for s in select_targets(kernel, 5, rng)}
+        second = {s.site for s in select_targets(kernel, 5, rng)}
+        assert first & second  # overlap expected from independent samples
