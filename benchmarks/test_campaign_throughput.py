@@ -272,10 +272,10 @@ def test_campaign_throughput(scale, report):
         # Warm every shared cache (translate, compile, golden input,
         # differential golden recording) outside the timed region so
         # each configuration measures trial execution only.
-        run_campaign(prog, specs[:1], mode="fift", workers=1,
-                     differential=False)
-        run_campaign(prog, specs[:1], mode="fift", workers=1,
-                     differential=True)
+        run_campaign(prog, specs[:1], mode="fift",
+                     options=CampaignOptions(workers=1, differential=False))
+        run_campaign(prog, specs[:1], mode="fift",
+                     options=CampaignOptions(workers=1, differential=True))
 
         summaries = {}
         configs = {}

@@ -23,10 +23,36 @@ The ten-line tour::
     prog.train(seeds=[0, 1, 2])
     result = prog.run(mode="ft", seed=0)
     assert not result.alarm
+
+The campaign surface below is the **frozen v1 API**: everything a
+campaign-driven harness — local, pooled, or fleet — needs is importable
+from ``repro`` directly, and the fleet wire protocol
+(:mod:`repro.fleet.wire`) is defined in terms of exactly these types.
 """
 
 from repro.errors import ReproError
+from repro.swifi.campaign import CampaignResult, TrialObservation
+from repro.swifi.journal import (
+    CampaignJournal,
+    campaign_fingerprint,
+    spec_fingerprint,
+)
+from repro.swifi.options import CampaignOptions
+from repro.swifi.parallel import run_campaign
+from repro.swifi.planner import CampaignPlan
 
 __version__ = "1.0.0"
 
-__all__ = ["ReproError", "__version__"]
+__all__ = [
+    "ReproError",
+    "__version__",
+    # frozen v1 campaign surface
+    "run_campaign",
+    "CampaignOptions",
+    "CampaignResult",
+    "CampaignPlan",
+    "CampaignJournal",
+    "TrialObservation",
+    "campaign_fingerprint",
+    "spec_fingerprint",
+]

@@ -29,9 +29,14 @@ from repro.exec.pool import (
     default_chunk_size,
     fork_available,
     resolve_workers,
+    spawn_available,
 )
 from repro.exec.retry import (
+    SYSTEM_CLOCK,
+    BlameLedger,
+    Clock,
     DeathRecord,
+    FakeClock,
     RetryPolicy,
     TrialTimeout,
     map_resilient,
@@ -46,7 +51,12 @@ __all__ = [
     "default_chunk_size",
     "fork_available",
     "resolve_workers",
+    "spawn_available",
+    "SYSTEM_CLOCK",
+    "BlameLedger",
+    "Clock",
     "DeathRecord",
+    "FakeClock",
     "RetryPolicy",
     "TrialTimeout",
     "map_resilient",

@@ -31,6 +31,11 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def spawn_available() -> bool:
+    """Whether the ``spawn`` start method exists (it does everywhere)."""
+    return "spawn" in multiprocessing.get_all_start_methods()
+
+
 def resolve_workers(workers: Union[int, str, None]) -> int:
     """Normalise a worker-count request to a positive integer.
 
@@ -74,14 +79,26 @@ def chunk_slices(n_items: int, chunk_size: int) -> List[Tuple[int, int]]:
 
 
 class ForkPool:
-    """Thin wrapper over fork-context process pools.
+    """Thin wrapper over process pools with a chosen start method.
 
-    Holds the worker count, warm initializer, and crash-error type for
-    a family of executors: :meth:`executor` mints a fresh
-    ``ProcessPoolExecutor`` each call, which is what lets the retry
-    layer (:mod:`repro.exec.retry`) replace a broken pool with a new
-    one — same initializer, same inherited address space — instead of
-    giving up.
+    Holds the worker count, warm initializer, crash-error type, and
+    start method for a family of executors: :meth:`executor` mints a
+    fresh ``ProcessPoolExecutor`` each call, which is what lets the
+    retry layer (:mod:`repro.exec.retry`) replace a broken pool with a
+    new one — same initializer, same inherited address space — instead
+    of giving up.
+
+    Two start methods are supported behind the same seam:
+
+    * ``"fork"`` (the default, and the campaign pool's mode): workers
+      inherit the parent's warm, *unpicklable* object graph through the
+      forked address space; ``initargs`` are never pickled.
+    * ``"spawn"``: workers are fresh interpreters — long-lived
+      processes that share nothing with the parent.  Everything
+      submitted (and ``initargs``) must be picklable.  This is the
+      executor the campaign fleet uses to launch its leased workers
+      (:mod:`repro.fleet`): one single-worker spawn executor per fleet
+      worker, so a ``kill -9`` breaks only that worker's executor.
     """
 
     def __init__(
@@ -90,21 +107,26 @@ class ForkPool:
         initializer: Optional[Callable] = None,
         initargs: Tuple = (),
         crash_error: Callable[[str], Exception] = RuntimeError,
+        start_method: str = "fork",
     ):
         if workers < 1:
             raise ValueError(f"pool needs at least one worker, got {workers}")
-        if not fork_available():
-            raise RuntimeError("ForkPool requires the 'fork' start method")
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                f"ForkPool requires the {start_method!r} start method, "
+                f"which this platform does not provide"
+            )
         self.workers = workers
         self.initializer = initializer
         self.initargs = initargs
         self.crash_error = crash_error
+        self.start_method = start_method
 
     def executor(self, max_workers: Optional[int] = None) -> ProcessPoolExecutor:
-        """A fresh fork-context executor with this pool's initializer."""
+        """A fresh executor with this pool's initializer and start method."""
         return ProcessPoolExecutor(
             max_workers=max_workers if max_workers is not None else self.workers,
-            mp_context=multiprocessing.get_context("fork"),
+            mp_context=multiprocessing.get_context(self.start_method),
             initializer=self.initializer,
             initargs=self.initargs,
         )

@@ -39,10 +39,47 @@ import signal
 import time
 from concurrent.futures import as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.pool import ForkPool, chunk_slices
+
+
+@dataclass(frozen=True)
+class Clock:
+    """Injectable time source for every wall-clock decision in this layer.
+
+    Backoff sleeps, lease TTLs, and expiry checks all read time through
+    one of these instead of calling :mod:`time` directly, so tests can
+    drive retry rounds and lease expiry in milliseconds with a fake
+    clock instead of actually sleeping (see ``tests/test_retry.py`` and
+    ``tests/test_fleet.py``).
+    """
+
+    now: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+
+
+#: The real wall clock — the default everywhere a :class:`Clock` is taken.
+SYSTEM_CLOCK = Clock()
+
+
+class FakeClock:
+    """Deterministic clock for tests: ``sleep`` advances ``now`` instantly."""
+
+    def __init__(self, start: float = 0.0):
+        self.time = start
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self.time
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.time += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.time += seconds
 
 
 @dataclass(frozen=True)
@@ -105,6 +142,47 @@ class DeathRecord:
     note: str = ""
 
 
+@dataclass
+class BlameLedger:
+    """Death bookkeeping shared by the retry mapper and the fleet.
+
+    Both failure detectors — a ``BrokenProcessPool`` from a shared fork
+    pool and an expired fleet lease — feed the same accounting: each
+    implicated item earns a *strike*; a strike is *attributable* when
+    the item was alone in the failure domain (a single-worker pool, or
+    a fleet lease whose chunk had shrunk to one item).  An item is
+    quarantined once its strikes reach ``policy.max_deaths`` with at
+    least one attributable strike, exactly the pre-fleet semantics of
+    :func:`map_resilient`.
+    """
+
+    policy: RetryPolicy
+    deaths: Dict[Any, int] = field(default_factory=dict)
+    isolated: Dict[Any, int] = field(default_factory=dict)
+
+    def strike(self, key: Any, attributable: bool = False) -> None:
+        """Implicate ``key`` in one worker death / lease expiry."""
+        self.deaths[key] = self.deaths.get(key, 0) + 1
+        if attributable:
+            self.isolated[key] = self.isolated.get(key, 0) + 1
+
+    def condemned(self, key: Any) -> bool:
+        """Whether ``key`` has exhausted the policy's death budget."""
+        return (
+            self.deaths.get(key, 0) >= self.policy.max_deaths
+            and self.isolated.get(key, 0) >= 1
+        )
+
+    def record(self, item: Any, key: Any, round_no: int) -> DeathRecord:
+        """The quarantine evidence for a condemned item."""
+        return DeathRecord(
+            item=item, deaths=self.deaths[key],
+            isolated_deaths=self.isolated.get(key, 0), round_no=round_no,
+            note=f"worker process died {self.deaths[key]}x "
+                 f"({self.isolated.get(key, 0)}x in isolation)",
+        )
+
+
 class TrialTimeout(Exception):
     """A trial exceeded its wall-clock budget (see :func:`trial_deadline`)."""
 
@@ -147,7 +225,7 @@ def map_resilient(
     chunk_size: int,
     policy: RetryPolicy,
     *,
-    sleep: Callable[[float], None] = time.sleep,
+    clock: Clock = SYSTEM_CLOCK,
     on_event: Optional[Callable[..., None]] = None,
     on_result: Optional[Callable[[Sequence, Any], None]] = None,
 ) -> Tuple[List[Tuple[Sequence, Any]], List[DeathRecord]]:
@@ -166,8 +244,10 @@ def map_resilient(
     death raises ``pool.crash_error`` instead, preserving the strict
     crash-surfacing behaviour.
 
-    ``sleep`` and ``on_event`` exist for tests and observability:
-    ``on_event(kind, **attrs)`` fires with ``kind`` in
+    ``clock`` and ``on_event`` exist for tests and observability:
+    backoff sleeps go through ``clock.sleep`` so retry rounds run in
+    milliseconds under a :class:`FakeClock`; ``on_event(kind, **attrs)``
+    fires with ``kind`` in
     ``{"worker_death", "retry", "quarantine"}``.  ``on_result`` fires
     with each ``(chunk_items, fn_result)`` the moment the chunk
     completes, so callers can persist partial progress (the campaign
@@ -188,8 +268,7 @@ def map_resilient(
     ]
     completed: List[Tuple[Sequence, Any]] = []
     dead: List[DeathRecord] = []
-    deaths: Dict[int, int] = {}
-    isolated: Dict[int, int] = {}
+    ledger = BlameLedger(policy)
     # positional identity: items may not be hashable or unique
     index_of = {id(item): i for i, item in enumerate(items)}
 
@@ -232,14 +311,8 @@ def map_resilient(
                 return True
             except BrokenProcessPool:
                 pass
-        key = index_of[id(chunk[0])]
-        isolated[key] = isolated.get(key, 0) + 1
         emit("worker_death", phase="isolated", failed_chunks=1, failed_items=1)
         return False
-
-    def blame(chunk: Tuple) -> None:
-        key = index_of[id(chunk[0])]
-        deaths[key] = deaths.get(key, 0) + 1
 
     suspects: List[Tuple] = []
     pending = chunks
@@ -250,22 +323,17 @@ def map_resilient(
             emit("retry", round_no=round_no, delay=delay,
                  chunks=len(pending), suspects=len(suspects))
             if delay > 0:
-                sleep(delay)
+                clock.sleep(delay)
         failed = run_shared(pending) if pending else []
 
         next_suspects: List[Tuple] = []
         for chunk in suspects:
             if run_isolated(chunk):
                 continue
-            blame(chunk)
             key = index_of[id(chunk[0])]
-            if deaths[key] >= policy.max_deaths and isolated.get(key, 0) >= 1:
-                record = DeathRecord(
-                    item=chunk[0], deaths=deaths[key],
-                    isolated_deaths=isolated[key], round_no=round_no,
-                    note=f"worker process died {deaths[key]}x "
-                         f"({isolated[key]}x in isolation)",
-                )
+            ledger.strike(key, attributable=True)
+            if ledger.condemned(key):
+                record = ledger.record(chunk[0], key, round_no)
                 dead.append(record)
                 emit("quarantine", deaths=record.deaths, round_no=round_no)
             else:
@@ -276,7 +344,7 @@ def map_resilient(
             if len(chunk) == 1:
                 # implicated, but unattributable in a shared pool: the
                 # item earns a strike and an isolated day in court
-                blame(chunk)
+                ledger.strike(index_of[id(chunk[0])])
                 next_suspects.append(chunk)
             else:
                 mid = len(chunk) // 2

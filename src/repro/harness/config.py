@@ -49,17 +49,6 @@ class ExperimentScale:
     campaign: CampaignOptions = field(default_factory=CampaignOptions)
     seed: int = 2011
 
-    # -- deprecated views (pre-CampaignOptions API) ----------------------
-    @property
-    def workers(self) -> object:
-        """Deprecated: read ``scale.campaign.workers`` instead."""
-        return self.campaign.workers
-
-    @property
-    def differential(self) -> bool:
-        """Deprecated: read ``scale.campaign.differential`` instead."""
-        return self.campaign.differential
-
 
 #: Fast preset for the test suite.
 SMOKE = ExperimentScale(

@@ -49,7 +49,7 @@ def _false_positive_ratio(
     prog.train(seeds=list(train_seeds))
     out: Dict[float, float] = {}
     for alpha in alphas:
-        prog.cb.set_alpha_all(alpha)
+        prog.set_alpha(alpha)
         alarms = 0
         for seed in eval_seeds:
             result = prog.run(mode="ft", seed=seed)

@@ -66,9 +66,10 @@ def run_sec9c(
             )
     result = Sec9cResult()
     for alpha in alphas:
-        # set_alpha_all precedes the campaign, so parallel workers
-        # (forked per campaign) inherit the updated control block
-        prog.cb.set_alpha_all(alpha)
+        # set_alpha precedes the campaign, so parallel workers (forked
+        # per campaign) inherit the updated control block — and fleet
+        # workers rebuild it from the recipe the call keeps current
+        prog.set_alpha(alpha)
         cell = run_campaign(prog, specs, mode="fift", options=scale.campaign)
         result.coverage[alpha] = cell.counts.coverage
     return result

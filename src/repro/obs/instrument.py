@@ -36,6 +36,9 @@ repro_swifi_worker_deaths_total             counter    phase
 repro_swifi_retry_rounds_total              counter    --
 repro_swifi_quarantined_total               counter    --
 repro_swifi_trial_timeouts_total            counter    --
+repro_fleet_leases_total                    counter    event
+repro_fleet_queue_depth                     gauge      --
+repro_fleet_workers                         gauge      --
 repro_guardian_attempts_total               counter    --
 repro_guardian_restarts_total               counter    --
 repro_guardian_hang_kills_total             counter    --
@@ -288,6 +291,38 @@ def record_trial_timeout() -> None:
         "repro_swifi_trial_timeouts_total",
         "Campaign trials that exceeded the per-trial wall-clock budget",
     ).inc()
+
+
+# -- campaign fleet service (repro/fleet) --------------------------------
+
+def record_lease(event: str, count: int = 1) -> None:
+    """One fleet lease lifecycle event.
+
+    ``event`` is ``granted`` (a chunk handed to a worker), ``completed``
+    (its result landed), ``expired`` (the TTL lapsed without a result —
+    the fleet's worker-death signal), or ``reissued`` (an expired
+    chunk requeued for another worker).
+    """
+    get_registry().counter(
+        "repro_fleet_leases_total",
+        "Fleet chunk-lease lifecycle events",
+    ).inc(count, event=event)
+
+
+def record_fleet_queue_depth(depth: int) -> None:
+    """Chunks waiting for a worker lease on the fleet coordinator."""
+    get_registry().gauge(
+        "repro_fleet_queue_depth",
+        "Unleased campaign chunks queued on the fleet coordinator",
+    ).set(depth)
+
+
+def record_fleet_workers(count: int) -> None:
+    """Distinct workers the coordinator has seen for the current run."""
+    get_registry().gauge(
+        "repro_fleet_workers",
+        "Distinct fleet workers that have requested leases",
+    ).set(count)
 
 
 # -- guardian supervision (core/guardian.py) ----------------------------

@@ -63,12 +63,16 @@ class Heartbeat:
     #: Seconds since the monitor was opened.
     elapsed: float
     #: What produced this heartbeat: ``chunk``, ``serial``, ``replay``,
-    #: or ``final``.
+    #: ``lease``, or ``final``.
     source: str = "chunk"
+    #: Fleet lease id the progress was produced under (``None`` outside
+    #: fleet campaigns; see :mod:`repro.fleet`).  Lets an operator join
+    #: ``heartbeats.jsonl`` against the coordinator's lease lifecycle.
+    lease: Optional[str] = None
 
     def to_record(self) -> Dict[str, Any]:
         """JSON-ready form, stable key order."""
-        return {
+        record = {
             "v": HEARTBEAT_VERSION,
             "seq": self.seq,
             "pid": self.pid,
@@ -79,6 +83,9 @@ class Heartbeat:
             "elapsed": round(self.elapsed, 6),
             "source": self.source,
         }
+        if self.lease is not None:
+            record["lease"] = self.lease
+        return record
 
 
 class ProgressRenderer:
@@ -188,6 +195,7 @@ class HeartbeatMonitor:
 
     def advance(self, count: int, outcomes: Optional[Dict[str, int]] = None,
                 *, pid: Optional[int] = None, source: str = "chunk",
+                lease: Optional[str] = None,
                 force: bool = True) -> Optional[Heartbeat]:
         """Account ``count`` finished trials and maybe emit a heartbeat.
 
@@ -206,7 +214,7 @@ class HeartbeatMonitor:
         now = self.clock()
         if not force and now - self._last_emit < self.min_interval:
             return None
-        return self._emit(pid=pid, source=source, now=now)
+        return self._emit(pid=pid, source=source, lease=lease, now=now)
 
     def close(self) -> None:
         """Emit the final heartbeat and release the heartbeat file."""
@@ -221,7 +229,7 @@ class HeartbeatMonitor:
             self.renderer.close()
 
     def _emit(self, *, pid: Optional[int], source: str,
-              now: float) -> Heartbeat:
+              now: float, lease: Optional[str] = None) -> Heartbeat:
         self.seq += 1
         self._last_emit = now
         self._pending = 0
@@ -235,6 +243,7 @@ class HeartbeatMonitor:
             rate=self.done / elapsed if elapsed > 0 else 0.0,
             elapsed=elapsed,
             source=source,
+            lease=lease,
         )
         record = beat.to_record()
         if self._file is not None:

@@ -16,6 +16,7 @@ from repro.swifi.campaign import (
     Campaign,
     CampaignResult,
     QuarantineReport,
+    TrialObservation,
     TrialResult,
     build_fault_specs,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "QuarantineReport",
+    "TrialObservation",
     "TrialResult",
     "build_fault_specs",
     "run_campaign",

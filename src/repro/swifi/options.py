@@ -9,9 +9,12 @@ frozen, picklable dataclass: harnesses carry a ``CampaignOptions``,
 one, and fork workers inherit the same object their parent planned
 with.
 
-The legacy keywords (``run_campaign(..., workers=4)``) still work as
-deprecated shims that build an options object; see
-:func:`repro.swifi.parallel.run_campaign`.
+``options=CampaignOptions(...)`` is the *only* way to configure a
+campaign — the pre-v1 per-knob keywords (``run_campaign(...,
+workers=4)``) are gone.  This object is also half of the fleet wire
+protocol: :mod:`repro.fleet.wire` serializes the execution-relevant
+fields into every submitted campaign envelope, so a remote worker runs
+with exactly the options the submitter planned with.
 """
 
 from __future__ import annotations
@@ -77,6 +80,17 @@ class CampaignOptions:
     plan: Optional[str] = None
     #: Confidence level for the planner's reported intervals.
     confidence: float = 0.95
+    #: Run this campaign on a fleet of N *spawned* worker processes
+    #: behind an in-process coordinator (:mod:`repro.fleet`): chunks
+    #: are leased to long-lived workers over the wire protocol and the
+    #: result is bit-identical to ``workers=1``.  Requires a program
+    #: built from a :class:`~repro.fleet.wire.ProgramRecipe`.  ``None``
+    #: (the default) keeps the fork-pool / serial paths.
+    fleet: Optional[int] = None
+    #: Submit the campaign to an already-running fleet coordinator at
+    #: ``"host:port"`` (``repro serve``) instead of executing locally.
+    #: Takes precedence over ``fleet``.
+    endpoint: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.trial_timeout is not None and self.trial_timeout <= 0:
@@ -96,6 +110,14 @@ class CampaignOptions:
         if not 0.0 < self.confidence < 1.0:
             raise ValueError(
                 f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.fleet is not None and self.fleet < 1:
+            raise ValueError(
+                f"fleet needs at least one worker, got {self.fleet}"
+            )
+        if self.endpoint is not None and ":" not in self.endpoint:
+            raise ValueError(
+                f"endpoint must be 'host:port', got {self.endpoint!r}"
             )
 
     @property

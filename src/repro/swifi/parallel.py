@@ -47,7 +47,6 @@ from __future__ import annotations
 
 import json
 import os
-import warnings
 from dataclasses import dataclass, field
 from typing import (
     Any, Callable, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING,
@@ -115,10 +114,6 @@ if TYPE_CHECKING:  # avoid a runtime import cycle with repro.core.program
 #: Ring capacity for per-chunk worker trace capture (only allocated
 #: when the parent tracer is enabled).
 WORKER_TRACE_CAPACITY = 8192
-
-#: Sentinel distinguishing "keyword not passed" from any real value in
-#: the deprecated ``run_campaign`` keyword shims.
-_UNSET = object()
 
 
 @dataclass
@@ -211,6 +206,88 @@ def _guarded_runner(runner, timeout: Optional[float]):
     return guarded
 
 
+def build_trial_runner(
+    program, mode: str, options: CampaignOptions,
+    runner_factory: Optional[Callable[[], Callable]] = None,
+) -> Callable[[Optional[FaultSpec]], TrialObservation]:
+    """Build the deadline-guarded trial runner every execution path uses.
+
+    One definition of "how a trial runs" shared by the serial loop, the
+    fork-pool initializer, and the fleet workers: build (or accept) the
+    base runner, then wrap it in ``options.trial_timeout``.  Callers
+    that fork should invoke this parent-side first so the build/golden
+    caches are warm in every child.
+    """
+    if runner_factory is not None:
+        base = runner_factory()
+    else:
+        with get_profiler().phase(PHASE_PARSE_BUILD):
+            build = program.build(mode)
+            program.runtime.prepare(build.kernel)
+        base = _make_runner(program, mode, options.seed, options.differential)
+    return _guarded_runner(base, options.trial_timeout)
+
+
+def execute_chunk(
+    runner: Callable[[Optional[FaultSpec]], TrialObservation],
+    items: List[Tuple[int, FaultSpec]],
+    capture_trace: bool = False,
+    isolate_metrics: bool = True,
+) -> ChunkResult:
+    """Run one chunk of ``(index, spec)`` items through ``runner``.
+
+    The single chunk-execution body shared by fork-pool workers and
+    fleet workers: metrics land in a fresh registry snapshot, trials
+    are profiled/classified, and (when asked) tracer records are
+    captured in a bounded ring.  The returned :class:`ChunkResult` is
+    what the parent merges — identical regardless of which process
+    architecture ran it.
+
+    ``isolate_metrics=False`` skips the registry snapshot (and returns
+    empty chunk metrics) — for callers running in a *thread* of a
+    process whose global registry must survive, like in-process test
+    workers.  Worker processes keep the default: the snapshot is how
+    the fork-pool parent computes per-chunk metric deltas.
+    """
+    registry = fresh_registry() if isolate_metrics else None
+    profiler = get_profiler()
+    observations: List[TrialObservation] = []
+    outcomes: List[str] = []
+    costs: List[Optional[Dict[str, Any]]] = []
+    counts = OutcomeCounts()
+
+    def execute() -> None:
+        for index, spec in items:
+            profiler.begin_trial(index)
+            obs = runner(spec)
+            cost = profiler.end_trial()
+            outcome = classify_outcome(obs.failure, obs.detected, obs.output_ok)
+            counts.add(outcome)
+            observations.append(obs)
+            outcomes.append(outcome.value)
+            costs.append(cost)
+
+    trace_records: List[Dict[str, Any]] = []
+    if capture_trace:
+        sink = RingBufferSink(capacity=WORKER_TRACE_CAPACITY)
+        with use_tracer(Tracer(sink)):
+            execute()
+        trace_records = sink.records
+    else:
+        execute()
+    return ChunkResult(
+        index=items[0][0] if items else -1,
+        observations=observations,
+        outcomes=outcomes,
+        counts=counts,
+        metrics=registry.as_dict() if registry is not None else {},
+        trace_records=trace_records,
+        worker_pid=os.getpid(),
+        costs=costs if profiler.enabled else [],
+        phase_totals=profiler.take_totals(),
+    )
+
+
 def _init_worker(program, mode, options: CampaignOptions, runner_factory,
                  capture_trace) -> None:
     """Pool initializer: warm this worker's caches exactly once.
@@ -227,15 +304,8 @@ def _init_worker(program, mode, options: CampaignOptions, runner_factory,
     set_tracer(None)
     fresh_registry()
     set_profiler(PhaseProfiler() if options.profile else None)
-    if runner_factory is not None:
-        runner = runner_factory()
-    else:
-        with get_profiler().phase(PHASE_PARSE_BUILD):
-            build = program.build(mode)
-            program.runtime.prepare(build.kernel)
-        runner = _make_runner(program, mode, options.seed, options.differential)
     _STATE = _WorkerState(
-        runner=_guarded_runner(runner, options.trial_timeout),
+        runner=build_trial_runner(program, mode, options, runner_factory),
         capture_trace=capture_trace,
     )
 
@@ -245,65 +315,10 @@ def _run_chunk(items) -> ChunkResult:
     state = _STATE
     if state is None:
         raise InjectionError("campaign worker used before initialization")
-    registry = fresh_registry()
-    profiler = get_profiler()
-    observations: List[TrialObservation] = []
-    outcomes: List[str] = []
-    costs: List[Optional[Dict[str, Any]]] = []
-    counts = OutcomeCounts()
-
-    def execute() -> None:
-        for index, spec in items:
-            profiler.begin_trial(index)
-            obs = state.runner(spec)
-            cost = profiler.end_trial()
-            outcome = classify_outcome(obs.failure, obs.detected, obs.output_ok)
-            counts.add(outcome)
-            observations.append(obs)
-            outcomes.append(outcome.value)
-            costs.append(cost)
-
-    trace_records: List[Dict[str, Any]] = []
-    if state.capture_trace:
-        sink = RingBufferSink(capacity=WORKER_TRACE_CAPACITY)
-        with use_tracer(Tracer(sink)):
-            execute()
-        trace_records = sink.records
-    else:
-        execute()
-    return ChunkResult(
-        index=items[0][0] if items else -1,
-        observations=observations,
-        outcomes=outcomes,
-        counts=counts,
-        metrics=registry.as_dict(),
-        trace_records=trace_records,
-        worker_pid=os.getpid(),
-        costs=costs if profiler.enabled else [],
-        phase_totals=profiler.take_totals(),
-    )
+    return execute_chunk(state.runner, items, state.capture_trace)
 
 
-# -- options / journal plumbing -------------------------------------------
-
-
-def _coerce_options(options: Optional[CampaignOptions],
-                    legacy: Dict[str, Any]) -> CampaignOptions:
-    """Fold the deprecated per-knob keywords into a CampaignOptions."""
-    supplied = {k: v for k, v in legacy.items() if v is not _UNSET}
-    if not supplied:
-        return options if options is not None else CampaignOptions()
-    if options is not None:
-        raise TypeError(
-            "run_campaign: pass either options=CampaignOptions(...) or the "
-            f"legacy keyword(s) {sorted(supplied)}, not both"
-        )
-    warnings.warn(
-        f"run_campaign keyword(s) {sorted(supplied)} are deprecated; pass "
-        "options=CampaignOptions(...) instead",
-        DeprecationWarning, stacklevel=3,
-    )
-    return CampaignOptions(**supplied)
+# -- journal plumbing ------------------------------------------------------
 
 
 def _section_context(program, spec_list):
@@ -359,6 +374,7 @@ def _build_campaign_plan(program, spec_list, mode, options: CampaignOptions,
         pilot_options = options.evolve(
             budget=None, plan=None, run_dir=None, resume=None,
             profile=False, progress=False, workers=1,
+            fleet=None, endpoint=None,
         )
         pilot_result = run_campaign(
             program, pilot_plan.selected_specs(spec_list), mode,
@@ -489,16 +505,7 @@ def _run_serial(
     def get_runner():
         nonlocal runner
         if runner is None:
-            if runner_factory is not None:
-                base = runner_factory()
-            else:
-                with get_profiler().phase(PHASE_PARSE_BUILD):
-                    build = program.build(mode)
-                    program.runtime.prepare(build.kernel)
-                base = _make_runner(
-                    program, mode, options.seed, options.differential
-                )
-            runner = _guarded_runner(base, options.trial_timeout)
+            runner = build_trial_runner(program, mode, options, runner_factory)
         return runner
 
     result = CampaignResult()
@@ -670,22 +677,16 @@ def run_campaign(
     options: Optional[CampaignOptions] = None,
     *,
     runner_factory: Optional[Callable[[], Callable]] = None,
-    workers: Any = _UNSET,
-    seed: Any = _UNSET,
-    chunk_size: Any = _UNSET,
-    differential: Any = _UNSET,
 ) -> CampaignResult:
     """Run one FI campaign over ``specs`` under ``options``.
 
-    The shared entry point for every campaign-driven harness.  All
-    execution knobs live on :class:`~repro.swifi.options.CampaignOptions`
-    (workers, seed, chunking, differential replay, journal/resume
-    directories, retry policy, trial timeout); the old per-knob
-    keywords (``workers=``, ``seed=``, ``chunk_size=``,
-    ``differential=``) still work as deprecated shims that build an
-    options object.
+    The shared entry point for every campaign-driven harness — and the
+    frozen v1 surface: every execution knob lives on
+    :class:`~repro.swifi.options.CampaignOptions` (workers, seed,
+    chunking, differential replay, journal/resume directories, retry
+    policy, trial timeout, fleet/endpoint routing).
 
-    Guarantees, for any worker count and chunk size:
+    Guarantees, for any worker count, chunk size, and fleet shape:
 
     * the returned :class:`CampaignResult` is bit-identical to the
       serial in-process run;
@@ -705,14 +706,27 @@ def run_campaign(
     population-extrapolated estimates with confidence intervals in
     ``result.plan`` / ``summary()["plan"]``.
 
+    With ``options.fleet`` the campaign runs on N spawned worker
+    processes behind an in-process fleet coordinator, and with
+    ``options.endpoint`` it is submitted to an already-running
+    ``repro serve`` coordinator — both delegate to :mod:`repro.fleet`
+    and are bit-identical to the local paths (the fleet requires a
+    program built from a :class:`~repro.fleet.wire.ProgramRecipe` and
+    no ``runner_factory``).
+
     ``runner_factory`` overrides ``program.trial_runner`` (used by
     tests to exercise the pool without a full program; the factory is
     called once per worker, inside the worker).
     """
-    options = _coerce_options(options, {
-        "workers": workers, "seed": seed, "chunk_size": chunk_size,
-        "differential": differential,
-    })
+    if options is None:
+        options = CampaignOptions()
+    if options.endpoint is not None or options.fleet is not None:
+        from repro.fleet.service import run_fleet_campaign
+
+        return run_fleet_campaign(
+            program, list(specs), mode, options,
+            runner_factory=runner_factory,
+        )
     spec_list = list(specs)
     plan = None
     if options.budget is not None and spec_list:

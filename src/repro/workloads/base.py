@@ -206,7 +206,12 @@ def get_workload(name: str, **kwargs) -> Workload:
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise WorkloadError(f"unknown workload {name!r}; known: {known}") from None
-    return cls(**kwargs)
+    workload = cls(**kwargs)
+    # remember how this instance was made: programs wrapping a
+    # registry-built workload are rebuildable in other processes, which
+    # is what lets the fleet auto-derive a ProgramRecipe for them
+    workload.registry_kwargs = dict(kwargs)
+    return workload
 
 
 def all_workloads() -> List[str]:

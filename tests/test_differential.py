@@ -22,6 +22,7 @@ from repro.swifi.differential import (
     kernel_replay_obstacle,
 )
 from repro.swifi.faultmodel import FaultSpec
+from repro.swifi.options import CampaignOptions
 from repro.swifi.parallel import run_campaign
 from repro.swifi.targets import enumerate_targets
 from repro.workloads import all_workloads, get_workload
@@ -243,18 +244,25 @@ class TestParallelComposition:
     def test_parallel_differential_matches_serial_full(self):
         specs = _campaign_specs(get_workload("SAD"), n=12)
         prog_full = HauberkProgram(get_workload("SAD"))
-        serial_full = run_campaign(prog_full, specs, mode="fift",
-                                   workers=1, differential=False)
+        serial_full = run_campaign(
+            prog_full, specs, mode="fift",
+            options=CampaignOptions(workers=1, differential=False),
+        )
         prog_diff = HauberkProgram(get_workload("SAD"))
-        parallel_diff = run_campaign(prog_diff, specs, mode="fift",
-                                     workers=2, differential=True)
+        parallel_diff = run_campaign(
+            prog_diff, specs, mode="fift",
+            options=CampaignOptions(workers=2, differential=True),
+        )
         _assert_identical(serial_full, parallel_diff)
 
     def test_no_differential_flag_uses_full_runner(self):
         fresh_registry()
         specs = _campaign_specs(get_workload("SAD"), n=4)
         prog = HauberkProgram(get_workload("SAD"))
-        run_campaign(prog, specs, mode="fi", workers=1, differential=False)
+        run_campaign(
+            prog, specs, mode="fi",
+            options=CampaignOptions(workers=1, differential=False),
+        )
         metrics = get_registry().as_dict()
         assert "repro_swifi_diff_hits_total" not in metrics
         assert "repro_swifi_diff_fallbacks_total" not in metrics

@@ -110,9 +110,11 @@ class TestParity:
     @needs_fork
     def test_parallel_matches_serial(self):
         wl, specs = _tiny_specs()
-        serial = run_campaign(HauberkProgram(wl), specs, mode="fi", workers=1)
+        serial = run_campaign(HauberkProgram(wl), specs, mode="fi",
+                              options=CampaignOptions(workers=1))
         parallel = run_campaign(
-            HauberkProgram(TinyWorkload()), specs, mode="fi", workers=4
+            HauberkProgram(TinyWorkload()), specs, mode="fi",
+            options=CampaignOptions(workers=4),
         )
         assert parallel.summary() == serial.summary()
         assert [t.outcome for t in parallel.trials] == \
@@ -125,10 +127,11 @@ class TestParity:
     @pytest.mark.parametrize("chunk_size", [1, 3, 1000])
     def test_any_chunk_size_matches_serial(self, chunk_size):
         wl, specs = _tiny_specs()
-        serial = run_campaign(HauberkProgram(wl), specs, mode="fi", workers=1)
+        serial = run_campaign(HauberkProgram(wl), specs, mode="fi",
+                              options=CampaignOptions(workers=1))
         chunked = run_campaign(
             HauberkProgram(TinyWorkload()), specs, mode="fi",
-            workers=2, chunk_size=chunk_size,
+            options=CampaignOptions(workers=2, chunk_size=chunk_size),
         )
         assert chunked.summary() == serial.summary()
         assert [t.outcome for t in chunked.trials] == \
@@ -139,12 +142,14 @@ class TestParity:
         import repro.swifi.parallel as par
         monkeypatch.setattr(par, "ForkPool", None)
         wl, specs = _tiny_specs(masks_per_site=1)
-        result = run_campaign(HauberkProgram(wl), specs, mode="fi", workers=1)
+        result = run_campaign(HauberkProgram(wl), specs, mode="fi",
+                              options=CampaignOptions(workers=1))
         assert result.summary()["trials"] == len(specs)
 
     def test_empty_spec_list(self):
         result = run_campaign(
-            HauberkProgram(TinyWorkload()), [], mode="fi", workers=4
+            HauberkProgram(TinyWorkload()), [], mode="fi",
+            options=CampaignOptions(workers=4),
         )
         assert result.summary()["trials"] == 0
         assert result.trials == []
@@ -153,9 +158,11 @@ class TestParity:
     def test_more_workers_than_specs(self):
         wl, specs = _tiny_specs(masks_per_site=1)
         few = specs[:2]
-        serial = run_campaign(HauberkProgram(wl), few, mode="fi", workers=1)
+        serial = run_campaign(HauberkProgram(wl), few, mode="fi",
+                              options=CampaignOptions(workers=1))
         wide = run_campaign(
-            HauberkProgram(TinyWorkload()), few, mode="fi", workers=16
+            HauberkProgram(TinyWorkload()), few, mode="fi",
+            options=CampaignOptions(workers=16),
         )
         assert wide.summary() == serial.summary()
 
@@ -195,7 +202,7 @@ class TestFailures:
         specs = [FaultSpec(site=0, mask=1, thread=0, occurrence=1)] * 8
         with pytest.raises(ValueError, match="trial exploded"):
             run_campaign(
-                None, specs, workers=2,
+                None, specs, options=CampaignOptions(workers=2),
                 runner_factory=_raising_runner_factory,
             )
 
@@ -301,12 +308,14 @@ class TestMetricsMerge:
     def test_parallel_metrics_match_serial(self, registry):
         wl, specs = _tiny_specs()
         serial_reg = fresh_registry()
-        run_campaign(HauberkProgram(wl), specs, mode="fi", workers=1)
+        run_campaign(HauberkProgram(wl), specs, mode="fi",
+                     options=CampaignOptions(workers=1))
         serial = serial_reg.as_dict()
 
         par_reg = fresh_registry()
         run_campaign(
-            HauberkProgram(TinyWorkload()), specs, mode="fi", workers=3
+            HauberkProgram(TinyWorkload()), specs, mode="fi",
+            options=CampaignOptions(workers=3),
         )
         merged = par_reg.as_dict()
         # worker-side launch / trial metrics merge to the serial totals

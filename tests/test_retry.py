@@ -4,8 +4,8 @@ Covers ``repro.exec.retry`` in isolation (policy math, blame and
 quarantine mechanics of ``map_resilient``, the ``trial_deadline``
 guard) and its integration with ``run_campaign`` (worker-killing specs
 quarantined into ``WORKER_KILLED`` trials, strict mode preserved,
-options object surviving the trip into fork workers, deprecation
-shims).
+options object surviving the trip into fork workers) plus the clock
+seam (``Clock``/``FakeClock``) and the shared ``BlameLedger``.
 """
 
 from __future__ import annotations
@@ -18,7 +18,10 @@ import pytest
 
 from repro.errors import InjectionError
 from repro.exec import (
+    BlameLedger,
+    Clock,
     DeathRecord,
+    FakeClock,
     ForkPool,
     RetryPolicy,
     TrialTimeout,
@@ -121,7 +124,7 @@ class TestMapResilient:
     def test_clean_run_completes_every_item(self):
         items = list(range(8))
         completed, dead = map_resilient(
-            self._pool(), _chunk_fn, items, 3, FAST_RETRY, sleep=lambda s: None
+            self._pool(), _chunk_fn, items, 3, FAST_RETRY, clock=FakeClock()
         )
         assert dead == []
         done = {i: r for chunk, result in completed
@@ -131,7 +134,7 @@ class TestMapResilient:
     def test_killer_item_quarantined_others_complete(self):
         items = [1, 2, 13, 4, 5, 6]
         completed, dead = map_resilient(
-            self._pool(), _chunk_fn, items, 3, FAST_RETRY, sleep=lambda s: None
+            self._pool(), _chunk_fn, items, 3, FAST_RETRY, clock=FakeClock()
         )
         assert [d.item for d in dead] == [13]
         assert dead[0].deaths >= FAST_RETRY.max_deaths
@@ -143,14 +146,14 @@ class TestMapResilient:
         with pytest.raises(InjectionError):
             map_resilient(
                 self._pool(), _chunk_fn, [13], 1,
-                RetryPolicy(max_deaths=0), sleep=lambda s: None,
+                RetryPolicy(max_deaths=0), clock=FakeClock(),
             )
 
     def test_fn_exceptions_propagate(self):
         with pytest.raises(ValueError, match="chunk exploded"):
             map_resilient(
                 self._pool(), _raising_chunk_fn, [1, 2], 2, FAST_RETRY,
-                sleep=lambda s: None,
+                clock=FakeClock(),
             )
 
     def test_events_and_results_stream(self):
@@ -158,7 +161,7 @@ class TestMapResilient:
         results = []
         map_resilient(
             self._pool(), _chunk_fn, [1, 13, 3], 3, FAST_RETRY,
-            sleep=lambda s: None,
+            clock=FakeClock(),
             on_event=lambda kind, **attrs: events.append(kind),
             on_result=lambda chunk, result: results.append(tuple(chunk)),
         )
@@ -300,7 +303,7 @@ class TestCampaignOptions:
             CampaignOptions(retry="twice")
 
 
-# -- deprecated keyword shims ---------------------------------------------
+# -- clock seam and blame ledger ------------------------------------------
 
 
 def _counting_runner_factory():
@@ -312,31 +315,64 @@ def _counting_runner_factory():
     return runner
 
 
-class TestDeprecatedKeywords:
-    def test_legacy_keywords_warn_and_work(self):
-        specs = _specs([1, 2])
-        with pytest.warns(DeprecationWarning, match="workers.*deprecated"):
-            result = run_campaign(
-                None, specs, workers=1, seed=2,
-                runner_factory=_counting_runner_factory,
-            )
-        assert result.summary()["trials"] == 2
+class TestClockSeam:
+    def test_fake_clock_advances_on_sleep(self):
+        clock = FakeClock(start=10.0)
+        assert clock.now() == 10.0
+        clock.sleep(2.5)
+        assert clock.now() == 12.5
+        assert clock.sleeps == [2.5]
+        clock.advance(0.5)
+        assert clock.now() == 13.0
 
-    def test_options_and_legacy_keywords_conflict(self):
-        with pytest.raises(TypeError, match="not both"):
-            run_campaign(
-                None, [], options=CampaignOptions(), workers=2,
-                runner_factory=_counting_runner_factory,
-            )
+    def test_default_clock_is_monotonic_wall(self):
+        clock = Clock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
 
-    def test_scale_compat_properties(self):
-        from repro.harness.config import ExperimentScale
-
-        scale = ExperimentScale(
-            campaign=CampaignOptions(workers=4, differential=False)
+    @needs_fork
+    def test_backoff_sleeps_recorded_not_slept(self):
+        # a worker-killing item forces retry rounds; the fake clock
+        # must absorb every backoff without wall-clock delay
+        clock = FakeClock()
+        policy = RetryPolicy(max_deaths=2, backoff_base=5.0, backoff_max=9.0)
+        start = time.monotonic()
+        map_resilient(
+            ForkPool(2, crash_error=InjectionError), _chunk_fn,
+            [1, 13, 3], 3, policy, clock=clock,
         )
-        assert scale.workers == 4
-        assert scale.differential is False
+        assert time.monotonic() - start < 5.0  # never actually slept
+        assert any(s > 0 for s in clock.sleeps)
+
+
+class TestBlameLedger:
+    def test_strike_and_condemn(self):
+        ledger = BlameLedger(policy=RetryPolicy(max_deaths=2))
+        assert not ledger.condemned("spec-a")
+        ledger.strike("spec-a")
+        ledger.strike("spec-a", attributable=True)
+        # two deaths but only one isolated: condemned needs both
+        assert ledger.deaths["spec-a"] == 2
+        assert ledger.condemned("spec-a")
+
+    def test_shared_strikes_never_condemn_alone(self):
+        ledger = BlameLedger(policy=RetryPolicy(max_deaths=2))
+        ledger.strike("spec-b")
+        ledger.strike("spec-b")
+        ledger.strike("spec-b")
+        assert not ledger.condemned("spec-b")  # no isolated death yet
+        ledger.strike("spec-b", attributable=True)
+        assert ledger.condemned("spec-b")
+
+    def test_record_carries_tallies(self):
+        ledger = BlameLedger(policy=RetryPolicy(max_deaths=1))
+        ledger.strike(7, attributable=True)
+        record = ledger.record(item="item-7", key=7, round_no=3)
+        assert record.item == "item-7"
+        assert record.deaths == 1
+        assert record.isolated_deaths == 1
+        assert record.round_no == 3
 
 
 # -- zero-trial summary regression ---------------------------------------
