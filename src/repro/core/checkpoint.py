@@ -27,9 +27,11 @@ class Checkpoint:
     scalars: Dict[str, object] = field(default_factory=dict)
     #: Opaque extra state (e.g. a ControlBlock) stored by deep copy.
     extra: Dict[str, object] = field(default_factory=dict)
-    #: Raw device-memory words (a ``GlobalMemory.snapshot()`` ndarray),
-    #: captured at a kernel boundary; ``None`` when host-state only.
-    device_words: Optional[np.ndarray] = None
+    #: Raw device-memory snapshot (``GlobalMemory.snapshot()``): a
+    #: ``uint32`` ndarray from the dense backing or a COW
+    #: ``PagedSnapshot`` page set from the sparse one, captured at a
+    #: kernel boundary; ``None`` when host-state only.
+    device_words: Optional[object] = None
 
     @classmethod
     def capture(
@@ -42,11 +44,13 @@ class Checkpoint:
     ) -> "Checkpoint":
         """Snapshot host state, plus device memory when ``memory`` is given.
 
-        ``memory`` is any object with a ``snapshot() -> np.ndarray``
-        (the GPU's :class:`~repro.gpu.memory.GlobalMemory`): the whole
-        allocated device state is captured as one vectorized ``uint32``
-        copy — raw bit patterns, so NaN payloads and denormals written
-        by the kernel survive a restore bit-exactly.
+        ``memory`` is any object with a ``snapshot()`` (the GPU's
+        :class:`~repro.gpu.memory.GlobalMemory`): the whole allocated
+        device state is captured — one vectorized ``uint32`` copy on
+        the dense backing, a copy-on-write page set (O(resident pages),
+        never the full address space) on the paged backing.  Either
+        way it is raw bit patterns, so NaN payloads and denormals
+        written by the kernel survive a restore bit-exactly.
         """
         return cls(
             tag=tag,

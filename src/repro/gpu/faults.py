@@ -98,7 +98,7 @@ def inject_word_faults(
     if bool(bad.any()):
         addr = int(addr_arr[bad][0])
         raise DeviceMemoryError(f"fault injection outside mapped memory: {addr}")
-    old_bits = memory.words[addr_arr].copy()
+    old_bits = memory.gather_words(addr_arr)
     new_bits = old_bits ^ mask_arr
-    memory.words[addr_arr] = new_bits
+    memory.scatter_words(addr_arr, new_bits)
     return old_bits, new_bits

@@ -64,6 +64,7 @@ from repro.errors import (
     KIRValidationError,
 )
 from repro.gpu.memory import GlobalMemory, ThreadFootprint
+from repro.gpu.paging import PagedWords
 from repro.kir.analysis.uniformity import GRID_SEEDS, expr_varies, grid_varying_names
 from repro.kir.astnodes import (
     Assign,
@@ -313,10 +314,19 @@ class _VectorCtx:
         self.capacity = mem.capacity
         # hazard maps cover the allocated region only (cheap to zero);
         # unallocated-but-in-bounds accesses are legal yet untracked,
-        # so they bail to the scalar engines instead
+        # so they bail to the scalar engines instead.  Over a paged
+        # memory the allocated region can span gigabytes, so the maps
+        # ride the same sparse page store (lazy fill -1) instead of
+        # materializing GB-scale np.full arrays.
         self.tracked = mem.used_words
-        self.owner = np.full(self.tracked, -1, np.int64)
-        self.read_by = np.full(self.tracked, -1, np.int64)
+        if mem.is_paged:
+            self.owner = PagedWords(self.tracked, mem.page_words,
+                                    dtype=np.int64, fill=-1)
+            self.read_by = PagedWords(self.tracked, mem.page_words,
+                                      dtype=np.int64, fill=-1)
+        else:
+            self.owner = np.full(self.tracked, -1, np.int64)
+            self.read_by = np.full(self.tracked, -1, np.int64)
         self.footprints = (
             [ThreadFootprint() for _ in range(n)] if record_footprints else None
         )
@@ -501,7 +511,7 @@ class _VectorCtx:
     def _store_recorded(self, pos, addrs, values, is_float: bool) -> None:
         """Scatter while journaling per-lane (addr, old, new) bits."""
         mem = self.mem
-        old = mem.words[addrs].copy()
+        old = mem.gather_words(addrs)
         if is_float:
             mem.scatter_f32(addrs, values)
         else:
@@ -978,8 +988,11 @@ class VectorRunResult:
     steps: np.ndarray          #: per-lane statement counts
     cycles: np.ndarray         #: per-lane cost-model cycles
     loop_cycles: np.ndarray    #: per-lane cycles inside loops
-    owner: np.ndarray          #: per-word last-writer gtid (-1 none)
-    read_by: np.ndarray        #: per-word reader gtid (-1 none, -2 many)
+    #: Per-word last-writer gtid (-1 none): an ndarray over dense
+    #: memory, a sparse ``PagedWords`` map over paged memory (same
+    #: indexing spelling either way).
+    owner: object
+    read_by: object            #: per-word reader gtid (-1 none, -2 many)
     tracked: int               #: words covered by owner/read_by
     footprints: Optional[List[ThreadFootprint]] = None
 
@@ -1131,6 +1144,10 @@ class VectorReplayGuard(WordReinterpret):
         self.store_word(addr, value & _U32)
 
     def rollback(self) -> None:
-        words = self.mem.words
-        for addr, bits in self.journal.items():
-            words[addr] = bits
+        if not self.journal:
+            return
+        n = len(self.journal)
+        self.mem.scatter_words(
+            np.fromiter(self.journal.keys(), np.int64, count=n),
+            np.fromiter(self.journal.values(), np.uint32, count=n),
+        )

@@ -308,13 +308,13 @@ class DifferentialEngine:
         """
         addrs, old_bits, _new_bits = footprint.net_store_arrays()
         if addrs.size:
-            self.memory.words[addrs] = old_bits
+            self.memory.scatter_words(addrs, old_bits)
 
     def _reapply(self, footprint: ThreadFootprint) -> None:
         """Re-establish the thread's golden stores (one scatter-write)."""
         addrs, _old_bits, new_bits = footprint.net_store_arrays()
         if addrs.size:
-            self.memory.words[addrs] = new_bits
+            self.memory.scatter_words(addrs, new_bits)
 
     def run_trial(self, spec: FaultSpec) -> Optional[TrialObservation]:
         """Serve one trial by replaying the faulted thread, or None to fall back.

@@ -132,7 +132,7 @@ class MemoryFaultInjector:
         """Restore every journaled word, most recent injection first."""
         while self._journal:
             addr_arr, old_bits = self._journal.pop()
-            self.memory.words[addr_arr] = old_bits
+            self.memory.scatter_words(addr_arr, old_bits)
 
 
 class FaultInjectionLibrary(InstrumentationLibrary):
